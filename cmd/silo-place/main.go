@@ -1,0 +1,157 @@
+// Command silo-place runs Silo admission control over a stream of
+// tenant requests and prints each placement decision, the per-port
+// queue bounds it implies, and the tenant's message-latency guarantee.
+//
+// Usage:
+//
+//	silo-place -pods 2 -racks 5 -servers 10 -slots 8 \
+//	    -tenants 20 -vms 16 -bw-mbps 250 -burst-kb 15 -delay-ms 1
+//
+// A second placer (-algo oktopus|locality) allows side-by-side
+// comparison of admission decisions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/placement"
+	"repro/internal/stats"
+	"repro/internal/tenant"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		pods     = flag.Int("pods", 2, "pods")
+		racks    = flag.Int("racks", 5, "racks per pod")
+		servers  = flag.Int("servers", 10, "servers per rack")
+		slots    = flag.Int("slots", 8, "VM slots per server")
+		linkGbps = flag.Float64("link-gbps", 10, "server link rate")
+		bufKB    = flag.Float64("buf-kb", 312, "switch buffer per port")
+		oversub  = flag.Float64("oversub", 5, "oversubscription per level")
+		algo     = flag.String("algo", "silo", "placement algorithm (silo|oktopus|locality)")
+
+		tenants = flag.Int("tenants", 20, "number of tenant requests")
+		vms     = flag.Int("vms", 16, "VMs per tenant")
+		bwMbps  = flag.Float64("bw-mbps", 250, "per-VM bandwidth guarantee")
+		burstKB = flag.Float64("burst-kb", 15, "per-VM burst allowance")
+		delayMs = flag.Float64("delay-ms", 1, "packet delay guarantee (0 = none)")
+		bmaxG   = flag.Float64("bmax-gbps", 1, "burst rate cap")
+		msgKB   = flag.Float64("msg-kb", 20, "message size for the latency bound printout")
+		seed    = flag.Uint64("seed", 1, "rng seed")
+	)
+	flag.Parse()
+
+	tree, err := topology.New(topology.Config{
+		Pods:           *pods,
+		RacksPerPod:    *racks,
+		ServersPerRack: *servers,
+		SlotsPerServer: *slots,
+		LinkBps:        *linkGbps * 1e9 / 8,
+		BufferBytes:    *bufKB * 1e3,
+		NICBufferBytes: 62.5e3,
+		RackOversub:    *oversub,
+		PodOversub:     *oversub,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var placer placement.Algorithm
+	switch *algo {
+	case "silo":
+		placer = placement.NewManager(tree, placement.Options{})
+	case "oktopus":
+		placer = placement.NewOktopus(tree)
+	case "locality":
+		placer = placement.NewLocality(tree)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algo)
+		os.Exit(2)
+	}
+
+	fmt.Printf("datacenter: %d servers, %d slots, %s placement\n",
+		tree.Servers(), tree.Slots(), placer.Name())
+	g := tenant.Guarantee{
+		BandwidthBps: *bwMbps * 1e6 / 8,
+		BurstBytes:   *burstKB * 1e3,
+		DelayBound:   *delayMs / 1e3,
+		BurstRateBps: *bmaxG * 1e9 / 8,
+	}
+	fmt.Printf("per-VM guarantee: B=%.0f Mbps S=%.0f KB d=%.2f ms Bmax=%.1f Gbps\n",
+		*bwMbps, *burstKB, *delayMs, *bmaxG)
+	fmt.Printf("message latency bound (%.0f KB message): %.3f ms\n\n",
+		*msgKB, g.MessageLatencyBound(*msgKB*1e3)*1e3)
+
+	rng := stats.NewRand(*seed)
+	accepted := 0
+	for i := 0; i < *tenants; i++ {
+		n := *vms
+		if n <= 0 {
+			n = 4 + rng.Intn(24)
+		}
+		spec := tenant.Spec{ID: i + 1, Name: fmt.Sprintf("tenant-%d", i+1), VMs: n, Guarantee: g, FaultDomains: 2}
+		pl, err := placer.Place(spec)
+		if err != nil {
+			fmt.Printf("tenant-%-3d REJECTED: %v\n", i+1, err)
+			continue
+		}
+		accepted++
+		perServer := map[int]int{}
+		for _, s := range pl.Servers {
+			perServer[s]++
+		}
+		distinct := pl.DistinctServers()
+		span := "server"
+		if len(distinct) > 1 {
+			span = "rack"
+			r0 := tree.RackOfServer(distinct[0])
+			p0 := tree.PodOfServer(distinct[0])
+			for _, s := range distinct[1:] {
+				if tree.PodOfServer(s) != p0 {
+					span = "datacenter"
+					break
+				}
+				if tree.RackOfServer(s) != r0 {
+					span = "pod"
+				}
+			}
+		}
+		fmt.Printf("tenant-%-3d placed: %d VMs on %d servers (span: %s)\n",
+			i+1, n, len(distinct), span)
+	}
+	fmt.Printf("\naccepted %d / %d tenants\n", accepted, *tenants)
+
+	if m, ok := placer.(*placement.Manager); ok {
+		// Print the five most loaded ports by queue bound.
+		type pb struct {
+			id    int
+			bound float64
+		}
+		var worst []pb
+		for pid := 0; pid < tree.NumPorts(); pid++ {
+			if b := m.QueueBound(pid); b > 0 {
+				worst = append(worst, pb{pid, b})
+			}
+		}
+		for i := 0; i < len(worst); i++ {
+			for j := i + 1; j < len(worst); j++ {
+				if worst[j].bound > worst[i].bound {
+					worst[i], worst[j] = worst[j], worst[i]
+				}
+			}
+		}
+		if len(worst) > 5 {
+			worst = worst[:5]
+		}
+		fmt.Println("\nbusiest ports (worst-case queuing delay vs capacity):")
+		for _, w := range worst {
+			port := tree.Port(w.id)
+			fmt.Printf("  port %-4d %-6s/%-4s bound=%7.1fµs capacity=%7.1fµs\n",
+				w.id, port.Level, port.Dir, w.bound*1e6, port.QueueCapacity()*1e6)
+		}
+	}
+}

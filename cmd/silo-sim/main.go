@@ -1,0 +1,186 @@
+// Command silo-sim runs a packet-level scenario: a delay-sensitive
+// all-to-one tenant sharing a rack-scale network with a bandwidth-
+// hungry all-to-all tenant, under a chosen scheme (silo, tcp, dctcp,
+// hull, okto, okto+), and prints the message latency distribution.
+//
+// Usage:
+//
+//	silo-sim -scheme silo -duration 0.1
+//	silo-sim -scheme tcp  -duration 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/netsim"
+	"repro/internal/placement"
+	"repro/internal/stats"
+	"repro/internal/tenant"
+	"repro/internal/topology"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+const gbps = 1e9 / 8
+
+func main() {
+	var (
+		schemeName = flag.String("scheme", "silo", "scheme (silo|tcp|dctcp|hull|okto|okto+)")
+		duration   = flag.Float64("duration", 0.1, "simulated seconds")
+		racks      = flag.Int("racks", 2, "racks")
+		servers    = flag.Int("servers", 5, "servers per rack")
+		vmsA       = flag.Int("vms-a", 9, "VMs of the delay-sensitive tenant")
+		vmsB       = flag.Int("vms-b", 9, "VMs of the bulk tenant")
+		seed       = flag.Uint64("seed", 3, "rng seed")
+	)
+	flag.Parse()
+
+	var scheme experiments.Scheme
+	switch *schemeName {
+	case "silo":
+		scheme = experiments.SchemeSilo
+	case "tcp":
+		scheme = experiments.SchemeTCP
+	case "dctcp":
+		scheme = experiments.SchemeDCTCP
+	case "hull":
+		scheme = experiments.SchemeHULL
+	case "okto":
+		scheme = experiments.SchemeOkto
+	case "okto+":
+		scheme = experiments.SchemeOktoPlus
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *schemeName)
+		os.Exit(2)
+	}
+
+	tree, err := topology.New(topology.Config{
+		Pods:           1,
+		RacksPerPod:    *racks,
+		ServersPerRack: *servers,
+		SlotsPerServer: 4,
+		LinkBps:        10 * gbps,
+		BufferBytes:    312e3,
+		NICBufferBytes: 62.5e3,
+		RackOversub:    5,
+		PodOversub:     1,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	nw := netsim.Build(netsim.NewSim(), tree, schemeNetOptions(scheme, tree))
+	f := transport.NewFabric(nw)
+	rng := stats.NewRand(*seed)
+
+	gA := tenant.Guarantee{BandwidthBps: 0.25 * gbps, BurstBytes: 15e3, DelayBound: 1e-3, BurstRateBps: 1 * gbps}
+	gB := tenant.Guarantee{BandwidthBps: 2 * gbps, BurstBytes: 1.5e3, BurstRateBps: 2 * gbps}
+
+	placer := schemePlacer(scheme, tree)
+	specA := tenant.Spec{ID: 1, Name: "oldi", VMs: *vmsA, Guarantee: gA, FaultDomains: 2}
+	specB := tenant.Spec{ID: 2, Name: "shuffle", VMs: *vmsB, Guarantee: gB, FaultDomains: 2}
+	plA, err := placer.Place(specA)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tenant A rejected: %v\n", err)
+		os.Exit(1)
+	}
+	plB, err := placer.Place(specB)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tenant B rejected: %v\n", err)
+		os.Exit(1)
+	}
+	depA := experiments.DeployTenant(nw, f, scheme, specA, plA, 1000)
+	depB := experiments.DeployTenant(nw, f, scheme, specB, plB, 2000)
+
+	if scheme.Paced() {
+		experiments.CoordinateHose(nw, depA, workload.AllToOne(*vmsA), experiments.HoseFairShare)
+		experiments.CoordinateHose(nw, depB, workload.AllToAll(*vmsB), experiments.HoseFairShare)
+	}
+
+	horizon := int64(*duration * 1e9)
+	lat := stats.NewSample(1 << 14)
+	rtos := 0
+	msgs := 0
+
+	// Tenant A: all-to-one bursts.
+	msg := 5000
+	meanPeriod := 4 * float64(*vmsA-1) * float64(msg) / gA.BandwidthBps * 1e9
+	var round func()
+	next := int64(rng.Exp(meanPeriod))
+	round = func() {
+		for i := 1; i < *vmsA; i++ {
+			msgs++
+			depA.Endpoints[i].SendMessage(depA.VMIDs[0], msg, func(m *transport.Message) {
+				lat.Add(float64(m.Latency()) / 1e3)
+				if m.RTOs > 0 {
+					rtos++
+				}
+			})
+		}
+		next += int64(rng.Exp(meanPeriod))
+		if next < horizon {
+			nw.Sim.At(next, round)
+		}
+	}
+	nw.Sim.At(next, round)
+
+	// Tenant B: continuous shuffle.
+	for i := 0; i < *vmsB; i++ {
+		for j := 0; j < *vmsB; j++ {
+			if i == j || plB.Servers[i] == plB.Servers[j] {
+				continue
+			}
+			ep := depB.Endpoints[i]
+			dst := depB.VMIDs[j]
+			var pump func(*transport.Message)
+			pump = func(*transport.Message) {
+				if nw.Sim.Now() < horizon {
+					ep.SendMessage(dst, 1<<20, pump)
+				}
+			}
+			pump(nil)
+		}
+	}
+
+	nw.Sim.Run(horizon + int64(3e9))
+
+	bound := gA.MessageLatencyBound(float64(msg)) * 1e6
+	fmt.Printf("scheme=%s  tenantA=%d VMs all-to-one (%d B bursts)  tenantB=%d VMs shuffle\n",
+		scheme, *vmsA, msg, *vmsB)
+	fmt.Printf("messages=%d completed=%d withRTO=%d drops=%d voids=%d\n",
+		msgs, lat.Len(), rtos, nw.TotalDrops(), nw.TotalVoidsDropped())
+	fmt.Printf("latency (µs): %s\n", lat.Summary("µs"))
+	fmt.Printf("Silo-style guarantee for this message: %.0f µs\n", bound)
+	if scheme == experiments.SchemeSilo {
+		if lat.Max() <= bound {
+			fmt.Println("=> every message met the guarantee")
+		} else {
+			fmt.Printf("=> %0.3f%% of messages exceeded the guarantee\n", 100*lat.FractionAbove(bound))
+		}
+	}
+}
+
+func schemeNetOptions(s experiments.Scheme, tree *topology.Tree) netsim.Options {
+	switch s {
+	case experiments.SchemeDCTCP:
+		return netsim.Options{PropNs: 200, ECNThresholdBytes: 65 * 1500}
+	case experiments.SchemeHULL:
+		return netsim.Options{PropNs: 200, PhantomGamma: 0.95, PhantomThresholdBytes: 15e3}
+	default:
+		return netsim.Options{PropNs: 200}
+	}
+}
+
+func schemePlacer(s experiments.Scheme, tree *topology.Tree) placement.Algorithm {
+	switch s {
+	case experiments.SchemeSilo:
+		return placement.NewManager(tree, placement.Options{})
+	case experiments.SchemeOkto, experiments.SchemeOktoPlus:
+		return placement.NewOktopus(tree)
+	default:
+		return placement.NewLocality(tree)
+	}
+}

@@ -1,0 +1,97 @@
+package silo_test
+
+import (
+	"fmt"
+
+	silo "repro"
+)
+
+func exampleDatacenter() *silo.Datacenter {
+	tree, err := silo.NewDatacenter(silo.DatacenterConfig{
+		Pods:           1,
+		RacksPerPod:    2,
+		ServersPerRack: 5,
+		SlotsPerServer: 4,
+		LinkBps:        silo.Gbps(10),
+		BufferBytes:    312e3,
+		NICBufferBytes: 62.5e3,
+		RackOversub:    1,
+		PodOversub:     1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return tree
+}
+
+// Admitting a tenant gives it an enforceable {B, S, d} triple; from it
+// the tenant derives a hard message-latency bound before sending a
+// single packet.
+func ExampleController_MessageLatencyBound() {
+	ctl := silo.NewController(exampleDatacenter(), silo.PlacementOptions{})
+	h, err := ctl.Admit(silo.TenantSpec{
+		Name: "web-search",
+		VMs:  9,
+		Guarantee: silo.Guarantee{
+			BandwidthBps: silo.Mbps(250),
+			BurstBytes:   15e3,
+			DelayBound:   1e-3,
+			BurstRateBps: silo.Gbps(1),
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	// A 10 KB message fits the burst allowance: bound = M/Bmax + d.
+	fmt.Printf("%.0f µs\n", ctl.MessageLatencyBound(h, 10_000)*1e6)
+	// A 100 KB message exceeds it: S/Bmax + (M−S)/B + d.
+	fmt.Printf("%.0f µs\n", ctl.MessageLatencyBound(h, 100_000)*1e6)
+	// Output:
+	// 1080 µs
+	// 3840 µs
+}
+
+// Admission control rejects a tenant whose guarantees the network
+// cannot enforce, instead of admitting it and failing later.
+func ExampleController_Admit_rejected() {
+	ctl := silo.NewController(exampleDatacenter(), silo.PlacementOptions{})
+	// 40 VMs each guaranteed 5 Gbps of hose bandwidth cannot coexist
+	// on ten 10 GbE servers.
+	_, err := ctl.Admit(silo.TenantSpec{
+		Name: "impossible",
+		VMs:  40,
+		Guarantee: silo.Guarantee{
+			BandwidthBps: silo.Gbps(5),
+			BurstBytes:   15e3,
+			BurstRateBps: silo.Gbps(10),
+		},
+		FaultDomains: 10,
+	})
+	fmt.Println(err != nil)
+	// Output:
+	// true
+}
+
+// The pacer stamps every packet through the token-bucket hierarchy;
+// the batcher lays data on the wire at those stamps, padding the gaps
+// with void packets the first switch will drop.
+func ExampleBatcher() {
+	vm := silo.NewPacedVM(1, silo.PacerGuarantee{
+		BandwidthBps: silo.Gbps(2), // 1 data packet per 5 slots at 10 GbE
+		BurstBytes:   1518,
+		BurstRateBps: silo.Gbps(10),
+		MTUBytes:     1518,
+	}, 0)
+	for i := 0; i < 10; i++ {
+		vm.Enqueue(0, 2, 1518, nil)
+	}
+	b := silo.NewBatcher(silo.Gbps(10))
+	// One 50 µs batch carries 12.5 KB of 2 Gbps data: the burst packet
+	// plus eight paced ones; the tenth spills into the next batch.
+	batch := b.Build(0, []*silo.PacedVM{vm})
+	fmt.Println("data packets:", batch.DataPackets())
+	fmt.Println("void bytes ≈ 4x data:", batch.VoidBytes > 3*batch.DataBytes)
+	// Output:
+	// data packets: 9
+	// void bytes ≈ 4x data: true
+}

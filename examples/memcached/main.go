@@ -1,0 +1,62 @@
+// Memcached example — the paper's §6.1 testbed scenario: a memcached
+// tenant (Facebook-ETC-like workload) shares five servers with a
+// bandwidth-hungry shuffle tenant. Run once with plain TCP and once
+// under Silo, and compare the request-latency tails.
+//
+//	go run ./examples/memcached            # both scenarios
+//	go run ./examples/memcached -silo=false
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		duration = flag.Float64("duration", 0.2, "simulated seconds")
+		withSilo = flag.Bool("silo", true, "also run the Silo-paced scenario")
+	)
+	flag.Parse()
+
+	p := experiments.DefaultMemcachedParams()
+	p.DurationSec = *duration
+
+	scenarios := []experiments.MemcachedScenario{
+		{Name: "TCP (idle)", WithBulk: false},
+		{Name: "TCP + netperf", WithBulk: true},
+	}
+	if *withSilo {
+		a, b := experiments.Table2Guarantees(2)
+		scenarios = append(scenarios, experiments.MemcachedScenario{
+			Name: "Silo + netperf", WithBulk: true, GuaranteeA: &a, GuaranteeB: &b,
+		})
+	}
+
+	var results []experiments.MemcachedResult
+	for _, sc := range scenarios {
+		fmt.Printf("running %q (%.2fs simulated)...\n", sc.Name, p.DurationSec)
+		r, err := experiments.RunMemcachedScenario(p, sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, r)
+	}
+
+	fmt.Println()
+	fmt.Print(experiments.RenderMemcached(results))
+	fmt.Println()
+	for _, r := range results {
+		fmt.Printf("%-16s %s\n", r.Scenario, r.Latencies.Summary("µs"))
+	}
+
+	if *withSilo && len(results) == 3 {
+		tcp, siloRes := results[1], results[2]
+		fmt.Printf("\ntail improvement (p99.9): TCP %.0f µs -> Silo %.0f µs (%.0fx)\n",
+			tcp.Latencies.Percentile(99.9), siloRes.Latencies.Percentile(99.9),
+			tcp.Latencies.Percentile(99.9)/siloRes.Latencies.Percentile(99.9))
+	}
+}

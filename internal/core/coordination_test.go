@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/placement"
+	"repro/internal/transport"
+)
+
+func TestStartHoseCoordinationConverges(t *testing.T) {
+	tree := testTree(t)
+	c := New(tree, placement.Options{})
+	h, err := c.Admit(classASpec(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := netsim.Build(netsim.NewSim(), tree, netsim.Options{PropNs: 200})
+	f := transport.NewFabric(nw)
+	eps := c.Deploy(nw, f, h, 1000, transport.Options{})
+	c.StartHoseCoordination(nw, h, 500_000)
+
+	// All-to-one bursts under the dynamic loop: complete, no drops.
+	done := 0
+	for i := 1; i < 5; i++ {
+		eps[i].SendMessage(1000, 15_000, func(m *transport.Message) { done++ })
+	}
+	nw.Sim.Run(20_000_000)
+	if done != 4 {
+		t.Fatalf("completed %d of 4", done)
+	}
+	if nw.TotalDrops() != 0 {
+		t.Error("drops under dynamic coordination")
+	}
+	// After the active phase, the coordinator must have installed
+	// receiver-fair rates at some point; after idling, senders revert
+	// to the full hose.
+	host := nw.Hosts[h.Placement.Servers[1]]
+	vm, ok := host.VM(h.VMIDs[1])
+	if !ok {
+		t.Fatal("paced VM missing")
+	}
+	if r := vm.DestRate(h.VMIDs[0]); r != h.Spec.Guarantee.BandwidthBps {
+		t.Errorf("idle rate = %v, want full hose %v", r, h.Spec.Guarantee.BandwidthBps)
+	}
+}

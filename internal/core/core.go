@@ -1,0 +1,187 @@
+// Package core is Silo's control plane: it couples the placement
+// manager (admission control, §4.2) with hypervisor pacer
+// configuration (§4.3). Admitting a tenant yields a handle carrying
+// its placement and the per-VM pacer guarantees; deploying the handle
+// onto a simulated network instantiates paced VMs on the right hosts
+// and wires transport endpoints, exactly as the production system
+// would configure its filter drivers.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/pacer"
+	"repro/internal/placement"
+	"repro/internal/tenant"
+	"repro/internal/topology"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// Controller is the Silo control plane for one datacenter.
+type Controller struct {
+	tree   *topology.Tree
+	placer *placement.Manager
+	nextID int
+
+	handles map[int]*Handle
+}
+
+// Handle is an admitted tenant.
+type Handle struct {
+	Spec      tenant.Spec
+	Placement *tenant.Placement
+	// PacerGuarantee is the per-VM pacer configuration derived from
+	// the tenant's network guarantee.
+	PacerGuarantee pacer.Guarantee
+	// VMIDs are the globally unique VM identifiers assigned at
+	// deployment (empty until Deploy).
+	VMIDs []int
+}
+
+// New returns a controller over the datacenter.
+func New(tree *topology.Tree, opts placement.Options) *Controller {
+	return &Controller{
+		tree:    tree,
+		placer:  placement.NewManager(tree, opts),
+		handles: make(map[int]*Handle),
+	}
+}
+
+// Tree returns the managed topology.
+func (c *Controller) Tree() *topology.Tree { return c.tree }
+
+// Placer exposes the placement manager (for instrumentation).
+func (c *Controller) Placer() *placement.Manager { return c.placer }
+
+// Admit runs admission control for a tenant request. The returned
+// handle's ID is assigned by the controller.
+func (c *Controller) Admit(spec tenant.Spec) (*Handle, error) {
+	c.nextID++
+	spec.ID = c.nextID
+	pl, err := c.placer.Place(spec)
+	if err != nil {
+		return nil, err
+	}
+	h := &Handle{
+		Spec:      spec,
+		Placement: pl,
+		PacerGuarantee: pacer.Guarantee{
+			BandwidthBps: spec.Guarantee.BandwidthBps,
+			BurstBytes:   spec.Guarantee.BurstBytes,
+			BurstRateBps: spec.Guarantee.BurstRateBps,
+			MTUBytes:     1518,
+		},
+	}
+	c.handles[spec.ID] = h
+	return h, nil
+}
+
+// Release removes an admitted tenant.
+func (c *Controller) Release(h *Handle) error {
+	if _, ok := c.handles[h.Spec.ID]; !ok {
+		return fmt.Errorf("core: tenant %d not admitted", h.Spec.ID)
+	}
+	delete(c.handles, h.Spec.ID)
+	return c.placer.Remove(h.Spec.ID)
+}
+
+// MessageLatencyBound returns the tenant's guaranteed message latency
+// for a message of the given size (paper §4.1).
+func (c *Controller) MessageLatencyBound(h *Handle, msgBytes int) float64 {
+	return h.Spec.Guarantee.MessageLatencyBound(float64(msgBytes))
+}
+
+// Deploy instantiates the tenant on a simulated network: paced VMs on
+// each host per the placement, plus transport endpoints. vmIDBase
+// must leave room for Spec.VMs consecutive IDs. Returns one endpoint
+// per VM, in VM-index order.
+func (c *Controller) Deploy(nw *netsim.Network, f *transport.Fabric, h *Handle, vmIDBase int, topt transport.Options) []*transport.Endpoint {
+	topt.Paced = h.Spec.Class == tenant.ClassGuaranteed
+	if h.Spec.Class == tenant.ClassBestEffort {
+		topt.Prio = netsim.PrioBestEffort
+	}
+	eps := make([]*transport.Endpoint, h.Spec.VMs)
+	h.VMIDs = make([]int, h.Spec.VMs)
+	for i := 0; i < h.Spec.VMs; i++ {
+		vmID := vmIDBase + i
+		h.VMIDs[i] = vmID
+		hostID := h.Placement.Servers[i]
+		host := nw.Hosts[hostID]
+		if topt.Paced {
+			if !host.Paced() {
+				host.EnablePacing(pacer.NewBatcher(c.tree.Config().LinkBps))
+			}
+			host.AddVM(pacer.NewVM(vmID, h.PacerGuarantee, nw.Sim.Now()))
+		}
+		eps[i] = f.AddEndpoint(vmID, hostID, topt)
+	}
+	return eps
+}
+
+// CoordinateHose installs per-destination bucket rates for a static
+// communication pattern (paper Figure 8 top row; the production system
+// runs this continuously like EyeQ — for the evaluation's static
+// patterns a single round suffices).
+func (c *Controller) CoordinateHose(nw *netsim.Network, h *Handle, pat workload.Pattern) {
+	if len(h.VMIDs) == 0 {
+		return
+	}
+	b := h.Spec.Guarantee.BandwidthBps
+	send := map[int]float64{}
+	recv := map[int]float64{}
+	var flows []pacer.Flow
+	for src, dsts := range pat {
+		for _, dst := range dsts {
+			sID, dID := h.VMIDs[src], h.VMIDs[dst]
+			send[sID] = b
+			recv[dID] = b
+			flows = append(flows, pacer.Flow{Src: sID, Dst: dID})
+		}
+	}
+	rates := pacer.HoseAllocate(send, recv, flows)
+	now := nw.Sim.Now()
+	for fl, rate := range rates {
+		vmIdx := indexOf(h.VMIDs, fl.Src)
+		if vmIdx < 0 {
+			continue
+		}
+		host := nw.Hosts[h.Placement.Servers[vmIdx]]
+		if vm, ok := host.VM(fl.Src); ok {
+			vm.SetDestRate(now, fl.Dst, rate)
+		}
+	}
+}
+
+// StartHoseCoordination launches the dynamic EyeQ-style coordination
+// loop for a deployed tenant: every epochNs the coordinator measures
+// which VM pairs are active and retunes per-destination rates
+// (paper §4.3). Static patterns converge in one epoch; shifting
+// workloads track within an epoch. The loop runs until the simulation
+// ends.
+func (c *Controller) StartHoseCoordination(nw *netsim.Network, h *Handle, epochNs int64) *pacer.Coordinator {
+	vms := make(map[int]*pacer.VM, len(h.VMIDs))
+	for i, id := range h.VMIDs {
+		if vm, ok := nw.Hosts[h.Placement.Servers[i]].VM(id); ok {
+			vms[id] = vm
+		}
+	}
+	coord := pacer.NewCoordinator(h.Spec.Guarantee.BandwidthBps, vms)
+	var tick func()
+	tick = func() {
+		coord.Epoch(nw.Sim.Now())
+		nw.Sim.After(epochNs, tick)
+	}
+	nw.Sim.After(0, tick)
+	return coord
+}
+
+func indexOf(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}

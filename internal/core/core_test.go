@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/placement"
+	"repro/internal/tenant"
+	"repro/internal/topology"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+const gbps = 1e9 / 8
+
+func testTree(t *testing.T) *topology.Tree {
+	t.Helper()
+	tree, err := topology.New(topology.Config{
+		Pods:           1,
+		RacksPerPod:    2,
+		ServersPerRack: 5,
+		SlotsPerServer: 6,
+		LinkBps:        10 * gbps,
+		BufferBytes:    312e3,
+		NICBufferBytes: 62.5e3,
+		RackOversub:    1,
+		PodOversub:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func classASpec(vms int) tenant.Spec {
+	return tenant.Spec{
+		Name: "classA",
+		VMs:  vms,
+		Guarantee: tenant.Guarantee{
+			BandwidthBps: 0.25 * gbps,
+			BurstBytes:   15e3,
+			DelayBound:   1e-3,
+			BurstRateBps: 1 * gbps,
+		},
+		FaultDomains: 2,
+	}
+}
+
+func TestAdmitReleaseLifecycle(t *testing.T) {
+	c := New(testTree(t), placement.Options{})
+	h, err := c.Admit(classASpec(6))
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	if h.Spec.ID == 0 {
+		t.Error("ID not assigned")
+	}
+	if len(h.Placement.Servers) != 6 {
+		t.Errorf("placement has %d servers", len(h.Placement.Servers))
+	}
+	if h.PacerGuarantee.BandwidthBps != 0.25*gbps {
+		t.Error("pacer guarantee not derived")
+	}
+	if err := c.Release(h); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if err := c.Release(h); err == nil {
+		t.Error("double release succeeded")
+	}
+}
+
+func TestMessageLatencyBound(t *testing.T) {
+	c := New(testTree(t), placement.Options{})
+	h, err := c.Admit(classASpec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 KB message, S=15 KB: bound = 10e3/Bmax + d.
+	got := c.MessageLatencyBound(h, 10_000)
+	want := 10_000/(1*gbps) + 1e-3
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("bound = %v, want %v", got, want)
+	}
+}
+
+func TestDeployAndRunAllToOne(t *testing.T) {
+	tree := testTree(t)
+	c := New(tree, placement.Options{})
+	h, err := c.Admit(classASpec(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := netsim.Build(netsim.NewSim(), tree, netsim.Options{PropNs: 200})
+	f := transport.NewFabric(nw)
+	eps := c.Deploy(nw, f, h, 1000, transport.Options{})
+	if len(eps) != 5 {
+		t.Fatalf("endpoints = %d", len(eps))
+	}
+	for i, ep := range eps {
+		if ep.VMID != 1000+i {
+			t.Errorf("endpoint %d vmID = %d", i, ep.VMID)
+		}
+		if !ep.Options().Paced {
+			t.Error("guaranteed tenant endpoint not paced")
+		}
+	}
+	pat := workload.AllToOne(5)
+	c.CoordinateHose(nw, h, pat)
+
+	// All senders burst a 15 KB message to VM 0 simultaneously (the
+	// OLDI pattern) — all must complete, no drops, within the bound.
+	bound := c.MessageLatencyBound(h, 15_000)
+	done := 0
+	var worst int64
+	for i := 1; i < 5; i++ {
+		eps[i].SendMessage(1000, 15_000, func(m *transport.Message) {
+			done++
+			if m.Latency() > worst {
+				worst = m.Latency()
+			}
+		})
+	}
+	nw.Sim.Run(1e9)
+	if done != 4 {
+		t.Fatalf("completed %d of 4 bursts", done)
+	}
+	if drops := nw.TotalDrops(); drops != 0 {
+		t.Errorf("drops = %d for compliant bursts", drops)
+	}
+	// Message latency here includes the returning ack (sender-side
+	// completion), so compare against bound + one RTT of slack.
+	slackNs := int64(200_000)
+	if worst > int64(bound*1e9)+slackNs {
+		t.Errorf("worst message latency %d ns exceeds bound %v + slack", worst, bound)
+	}
+}
+
+func TestDeployBestEffortLowPriority(t *testing.T) {
+	tree := testTree(t)
+	c := New(tree, placement.Options{})
+	h, err := c.Admit(tenant.Spec{Name: "be", VMs: 3, Class: tenant.ClassBestEffort})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := netsim.Build(netsim.NewSim(), tree, netsim.Options{PropNs: 200})
+	f := transport.NewFabric(nw)
+	eps := c.Deploy(nw, f, h, 2000, transport.Options{})
+	for _, ep := range eps {
+		if ep.Options().Paced {
+			t.Error("best-effort endpoint should not be paced")
+		}
+		if ep.Options().Prio != netsim.PrioBestEffort {
+			t.Error("best-effort endpoint should ride low priority")
+		}
+	}
+}
+
+func TestAdmitRejectsOverload(t *testing.T) {
+	c := New(testTree(t), placement.Options{})
+	rejected := false
+	for i := 0; i < 100; i++ {
+		spec := classASpec(6)
+		spec.Guarantee.BandwidthBps = 3 * gbps
+		spec.Guarantee.BurstRateBps = 10 * gbps
+		if _, err := c.Admit(spec); err != nil {
+			rejected = true
+			break
+		}
+	}
+	if !rejected {
+		t.Error("controller never rejected despite overload")
+	}
+}

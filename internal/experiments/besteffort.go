@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/tenant"
+	"repro/internal/topology"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// BestEffortParams configures the §4.4 experiment: a guaranteed
+// (class-A) tenant shares the cluster with a best-effort tenant that
+// holds no guarantees and rides the low 802.1q priority. Silo's claim:
+// the best-effort tenant soaks up residual capacity without disturbing
+// the guaranteed tenant's latency.
+type BestEffortParams struct {
+	Racks, ServersPerRack int
+	DurationSec           float64
+	GuaranteedVMs         int
+	BestEffortVMs         int
+	Seed                  uint64
+}
+
+// DefaultBestEffortParams returns a rack-scale configuration.
+func DefaultBestEffortParams() BestEffortParams {
+	return BestEffortParams{
+		Racks:          2,
+		ServersPerRack: 5,
+		DurationSec:    0.05,
+		GuaranteedVMs:  9,
+		BestEffortVMs:  9,
+		Seed:           13,
+	}
+}
+
+// BestEffortResult reports both tenants' outcomes with and without the
+// best-effort tenant present.
+type BestEffortResult struct {
+	// GuaranteedP99AloneUs / WithBEUs: the guaranteed tenant's p99
+	// message latency without and with best-effort load.
+	GuaranteedP99AloneUs  float64
+	GuaranteedP99WithBEUs float64
+	// GuaranteeUs is the tenant's message-latency guarantee.
+	GuaranteeUs float64
+	// BestEffortGbps is the best-effort tenant's achieved throughput.
+	BestEffortGbps float64
+	// Drops across switch ports (compliant traffic must see zero drops
+	// at high priority; best-effort may lose packets).
+	HighPrioDrops int64
+}
+
+// RunBestEffort runs the coexistence experiment twice (guaranteed
+// tenant alone, then with best-effort background) and compares.
+func RunBestEffort(p BestEffortParams) (BestEffortResult, error) {
+	alone, _, _, err := bestEffortRun(p, false)
+	if err != nil {
+		return BestEffortResult{}, err
+	}
+	withBE, beBytes, simSec, err := bestEffortRun(p, true)
+	if err != nil {
+		return BestEffortResult{}, err
+	}
+	g := bestEffortGuarantee()
+	res := BestEffortResult{
+		GuaranteedP99AloneUs:  alone.Percentile(99),
+		GuaranteedP99WithBEUs: withBE.Percentile(99),
+		GuaranteeUs:           g.MessageLatencyBound(5000) * 1e6,
+		BestEffortGbps:        float64(beBytes) * 8 / simSec / 1e9,
+	}
+	return res, nil
+}
+
+func bestEffortGuarantee() tenant.Guarantee {
+	return tenant.Guarantee{
+		BandwidthBps: 0.25 * gbps,
+		BurstBytes:   15e3,
+		DelayBound:   1e-3,
+		BurstRateBps: 1 * gbps,
+	}
+}
+
+func bestEffortRun(p BestEffortParams, withBE bool) (*stats.Sample, int64, float64, error) {
+	tree, err := topology.New(topology.Config{
+		Pods:           1,
+		RacksPerPod:    p.Racks,
+		ServersPerRack: p.ServersPerRack,
+		SlotsPerServer: 4,
+		LinkBps:        10 * gbps,
+		BufferBytes:    312e3,
+		NICBufferBytes: 62.5e3,
+		RackOversub:    5,
+		PodOversub:     1,
+	})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	nw := netsim.Build(netsim.NewSim(), tree, netsim.Options{PropNs: 200})
+	f := transport.NewFabric(nw)
+	rng := stats.NewRand(p.Seed)
+
+	placer := SchemeSilo.placer(tree)
+	specG := tenant.Spec{ID: 1, Name: "guaranteed", VMs: p.GuaranteedVMs,
+		Guarantee: bestEffortGuarantee(), FaultDomains: 2}
+	plG, err := placer.Place(specG)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	depG := DeployTenant(nw, f, SchemeSilo, specG, plG, 1000)
+	CoordinateHose(nw, depG, workload.AllToOne(p.GuaranteedVMs), HoseFairShare)
+
+	var depBE *Deployment
+	if withBE {
+		specBE := tenant.Spec{ID: 2, Name: "best-effort", VMs: p.BestEffortVMs,
+			Class: tenant.ClassBestEffort, FaultDomains: 2}
+		plBE, err := placer.Place(specBE)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		// Best-effort endpoints: unpaced, low priority, plain TCP.
+		topt := transport.Options{Variant: transport.Reno, MinRTONs: 10_000_000,
+			Prio: netsim.PrioBestEffort, MaxCwndBytes: 256 << 10}
+		depBE = &Deployment{Spec: specBE, Placement: plBE,
+			VMIDs: make([]int, specBE.VMs), Endpoints: make([]*transport.Endpoint, specBE.VMs)}
+		for i := 0; i < specBE.VMs; i++ {
+			depBE.VMIDs[i] = 2000 + i
+			depBE.Endpoints[i] = f.AddEndpoint(2000+i, plBE.Servers[i], topt)
+		}
+	}
+
+	horizon := int64(p.DurationSec * 1e9)
+	lat := stats.NewSample(1 << 12)
+	// Guaranteed tenant: sparse all-to-one bursts (the class-A
+	// pattern).
+	msg := 5000
+	g := bestEffortGuarantee()
+	meanPeriod := 4 * float64(p.GuaranteedVMs-1) * float64(msg) / g.BandwidthBps * 1e9
+	var round func()
+	next := int64(rng.Exp(meanPeriod))
+	round = func() {
+		for i := 1; i < p.GuaranteedVMs; i++ {
+			depG.Endpoints[i].SendMessage(depG.VMIDs[0], msg, func(m *transport.Message) {
+				lat.Add(float64(m.Latency()) / 1e3)
+			})
+		}
+		next += int64(rng.Exp(meanPeriod))
+		if next < horizon {
+			nw.Sim.At(next, round)
+		}
+	}
+	nw.Sim.At(next, round)
+
+	// Best-effort tenant: all-out shuffle, as greedy as TCP allows.
+	if depBE != nil {
+		for i := 0; i < depBE.Spec.VMs; i++ {
+			for j := 0; j < depBE.Spec.VMs; j++ {
+				if i == j || depBE.Placement.Servers[i] == depBE.Placement.Servers[j] {
+					continue
+				}
+				ep := depBE.Endpoints[i]
+				dst := depBE.VMIDs[j]
+				var pump func(*transport.Message)
+				pump = func(*transport.Message) {
+					if nw.Sim.Now() < horizon {
+						ep.SendMessage(dst, 1<<20, pump)
+					}
+				}
+				pump(nil)
+			}
+		}
+	}
+
+	nw.Sim.Run(horizon + int64(3e9))
+	var beBytes int64
+	if depBE != nil {
+		for i, ep := range depBE.Endpoints {
+			for j := range depBE.Endpoints {
+				if i != j {
+					beBytes += ep.BytesReceived(depBE.VMIDs[j])
+				}
+			}
+		}
+	}
+	return lat, beBytes, p.DurationSec, nil
+}
+
+// Render formats the coexistence result.
+func (r BestEffortResult) Render() string {
+	return fmt.Sprintf(
+		"guaranteed tenant p99: alone=%.0fµs  with best-effort=%.0fµs  (guarantee %.0fµs)\n"+
+			"best-effort throughput on residual capacity: %.2f Gbps\n",
+		r.GuaranteedP99AloneUs, r.GuaranteedP99WithBEUs, r.GuaranteeUs, r.BestEffortGbps)
+}

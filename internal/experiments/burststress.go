@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/tenant"
+	"repro/internal/topology"
+	"repro/internal/transport"
+)
+
+// BurstStressParams configures the synchronized-burst stress test —
+// the runtime demonstration of Figure 5's principle and the mechanism
+// behind Okto+'s Table-4 outliers: placement that guarantees
+// bandwidth but ignores bursts admits tenant sets whose simultaneous
+// (allowed!) bursts overflow switch buffers. Silo's queuing
+// constraint instead rejects tenants it cannot absorb, and the ones
+// it admits never lose a packet.
+type BurstStressParams struct {
+	// Tenants offered for admission; each has Senders+1 VMs, the
+	// receiver pinned by fault domains to spread across servers.
+	Tenants int
+	// Senders per tenant, each bursting BurstBytes simultaneously at
+	// the worst possible moment.
+	Senders    int
+	BurstBytes float64
+	// BandwidthBps per VM (modest: bandwidth-only admission accepts
+	// everything).
+	BandwidthBps float64
+	Seed         uint64
+}
+
+// DefaultBurstStressParams sizes the stress so that bandwidth-only
+// admission accepts every tenant while the combined worst-case burst
+// is ~3x the port buffer.
+func DefaultBurstStressParams() BurstStressParams {
+	return BurstStressParams{
+		Tenants:      8,
+		Senders:      3,
+		BurstBytes:   30e3,
+		BandwidthBps: 0.4 * gbps,
+		Seed:         17,
+	}
+}
+
+// BurstStressResult compares the two schemes under the same offered
+// tenant stream.
+type BurstStressResult struct {
+	Scheme       Scheme
+	Admitted     int
+	Offered      int
+	Drops        int64
+	MessagesLate int
+	Messages     int
+	P99LatencyUs float64
+	GuaranteeUs  float64
+	WorstBoundOK bool
+}
+
+// RunBurstStress admits tenants with the scheme's placer and fires
+// every admitted tenant's senders simultaneously.
+func RunBurstStress(p BurstStressParams, scheme Scheme) (BurstStressResult, error) {
+	tree, err := topology.New(topology.Config{
+		Pods:           1,
+		RacksPerPod:    1,
+		ServersPerRack: 4,
+		SlotsPerServer: 8,
+		LinkBps:        10 * gbps,
+		BufferBytes:    312e3,
+		NICBufferBytes: 62.5e3,
+		RackOversub:    1,
+		PodOversub:     1,
+	})
+	if err != nil {
+		return BurstStressResult{}, err
+	}
+	nw := netsim.Build(netsim.NewSim(), tree, scheme.netOptions(tree, 200))
+	f := transport.NewFabric(nw)
+	placer := scheme.placer(tree)
+
+	g := tenant.Guarantee{
+		BandwidthBps: p.BandwidthBps,
+		BurstBytes:   p.BurstBytes,
+		DelayBound:   1e-3,
+		BurstRateBps: 10 * gbps,
+	}
+	res := BurstStressResult{
+		Scheme:      scheme,
+		Offered:     p.Tenants,
+		GuaranteeUs: g.MessageLatencyBound(p.BurstBytes) * 1e6,
+	}
+
+	var deps []*Deployment
+	vmBase := 1000
+	for i := 0; i < p.Tenants; i++ {
+		spec := tenant.Spec{
+			ID:           i + 1,
+			Name:         fmt.Sprintf("burst-%d", i+1),
+			VMs:          p.Senders + 1,
+			Guarantee:    g,
+			FaultDomains: p.Senders + 1, // one VM per server: maximal fan-in
+		}
+		pl, err := placer.Place(spec)
+		if err != nil {
+			continue
+		}
+		res.Admitted++
+		dep := DeployTenant(nw, f, scheme, spec, pl, vmBase)
+		vmBase += spec.VMs + 4
+		if scheme.Paced() {
+			// Receiver is VM 0; static fair share (all senders always
+			// burst together here).
+			pat := make([][]int, spec.VMs)
+			for s := 1; s < spec.VMs; s++ {
+				pat[s] = []int{0}
+			}
+			CoordinateHose(nw, dep, pat, HoseFairShare)
+		}
+		deps = append(deps, dep)
+	}
+
+	// Every admitted tenant's senders burst at t=0 — the synchronized
+	// worst case the placement must have budgeted for.
+	lat := stats.NewSample(256)
+	for _, dep := range deps {
+		aggVM := dep.VMIDs[0]
+		for s := 1; s < dep.Spec.VMs; s++ {
+			res.Messages++
+			dep.Endpoints[s].SendMessage(aggVM, int(p.BurstBytes), func(m *transport.Message) {
+				lat.Add(float64(m.Latency()) / 1e3)
+			})
+		}
+	}
+	nw.Sim.Run(10e9)
+	res.Drops = nw.TotalDrops()
+	res.P99LatencyUs = lat.Percentile(99)
+	res.MessagesLate = int(float64(lat.Len()) * lat.FractionAbove(res.GuaranteeUs))
+	res.WorstBoundOK = lat.Len() == res.Messages && lat.Max() <= res.GuaranteeUs
+	return res, nil
+}
+
+// RunBurstStressComparison runs Silo and Okto+ over the same stress.
+func RunBurstStressComparison(p BurstStressParams) ([]BurstStressResult, error) {
+	var out []BurstStressResult
+	for _, s := range []Scheme{SchemeSilo, SchemeOktoPlus} {
+		r, err := RunBurstStress(p, s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// RenderBurstStress formats the comparison.
+func RenderBurstStress(rs []BurstStressResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %10s %8s %10s %12s %14s %10s\n",
+		"scheme", "admitted", "drops", "late msgs", "p99 (µs)", "guarantee(µs)", "all OK")
+	for _, r := range rs {
+		fmt.Fprintf(&b, "%-8s %6d/%-3d %8d %10d %12.0f %14.0f %10v\n",
+			r.Scheme, r.Admitted, r.Offered, r.Drops, r.MessagesLate,
+			r.P99LatencyUs, r.GuaranteeUs, r.WorstBoundOK)
+	}
+	return b.String()
+}

@@ -1,0 +1,417 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/tenant"
+	"repro/internal/topology"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// ComparisonParams configures the §6.2 packet-level comparison of
+// Silo against TCP, DCTCP, HULL, Oktopus and Okto+ (Figures 12–14,
+// Table 4). The paper simulates 10 racks × 40 servers × 8 VMs; the
+// default here is scaled down (same shape, tractable event counts) and
+// the CLI can run larger instances.
+type ComparisonParams struct {
+	Racks, ServersPerRack, SlotsPerServer int
+	// Oversub is the rack uplink oversubscription (paper: 1:5).
+	Oversub float64
+	// DurationSec of offered load (plus drain).
+	DurationSec float64
+	// OccupancyTarget is the fraction of slots to fill (paper: 90%).
+	OccupancyTarget float64
+	// ClassAFrac of tenants are class A (delay-sensitive all-to-one).
+	ClassAFrac float64
+	// AvgTenantVMs is the mean tenant size.
+	AvgTenantVMs int
+	// ClassBMsgBytes is the class-B bulk message size.
+	ClassBMsgBytes int
+	Seed           uint64
+	Schemes        []Scheme
+}
+
+// DefaultComparisonParams returns a laptop-scale configuration.
+func DefaultComparisonParams() ComparisonParams {
+	return ComparisonParams{
+		Racks:           10,
+		ServersPerRack:  4,
+		SlotsPerServer:  4,
+		Oversub:         5,
+		DurationSec:     0.05,
+		OccupancyTarget: 0.9,
+		ClassAFrac:      0.5,
+		AvgTenantVMs:    9,
+		ClassBMsgBytes:  2 << 20,
+		Seed:            11,
+		Schemes:         AllSchemes,
+	}
+}
+
+// tenantRequest is one entry of the shared tenant stream.
+type tenantRequest struct {
+	classA bool
+	vms    int
+	g      tenant.Guarantee
+}
+
+// tenantStream draws the same tenant sequence for every scheme
+// (Table 3 parameters, exponentially distributed as in the paper).
+func tenantStream(p ComparisonParams, rng *stats.Rand) []tenantRequest {
+	slots := p.Racks * p.ServersPerRack * p.SlotsPerServer
+	var reqs []tenantRequest
+	total := 0
+	for total < 3*slots { // more than any scheme can admit
+		classA := rng.Float64() < p.ClassAFrac
+		vms := int(rng.Exp(float64(p.AvgTenantVMs)))
+		if vms < 4 {
+			vms = 4
+		}
+		if vms > 2*p.AvgTenantVMs {
+			vms = 2 * p.AvgTenantVMs
+		}
+		var g tenant.Guarantee
+		if classA {
+			g = tenant.Guarantee{
+				BandwidthBps: clamp(rng.Exp(0.25*gbps), 0.05*gbps, 0.5*gbps),
+				BurstBytes:   clamp(rng.Exp(15e3), 3e3, 30e3),
+				DelayBound:   1e-3,
+				BurstRateBps: 1 * gbps,
+			}
+		} else {
+			g = tenant.Guarantee{
+				BandwidthBps: clamp(rng.Exp(2*gbps), 0.5*gbps, 3*gbps),
+				BurstBytes:   1.5e3,
+				BurstRateBps: 2 * gbps,
+			}
+		}
+		reqs = append(reqs, tenantRequest{classA: classA, vms: vms, g: g})
+		total += vms
+	}
+	return reqs
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// TenantStats accumulates one tenant's message outcomes under one
+// scheme.
+type TenantStats struct {
+	ClassA bool
+	VMs    int
+	// EstimateNs is the tenant's message-latency estimate (Silo's
+	// guarantee formula applied to its message size).
+	EstimateNs int64
+	// LatenciesUs samples message latencies in µs.
+	LatenciesUs *stats.Sample
+	Messages    int
+	MessagesRTO int
+}
+
+// RTOFrac returns the fraction of the tenant's messages that suffered
+// at least one retransmission timeout (Figure 13's x-axis).
+func (t *TenantStats) RTOFrac() float64 {
+	if t.Messages == 0 {
+		return 0
+	}
+	return float64(t.MessagesRTO) / float64(t.Messages)
+}
+
+// SchemeResult is one scheme's outcome.
+type SchemeResult struct {
+	Scheme  Scheme
+	Tenants []*TenantStats
+	// ClassALatUs aggregates all class-A message latencies (µs) —
+	// Figure 12's distribution.
+	ClassALatUs *stats.Sample
+	// AdmittedVMs actually placed.
+	AdmittedVMs int
+	Drops       int64
+}
+
+// ClassATenants filters.
+func (r SchemeResult) ClassATenants() []*TenantStats {
+	var out []*TenantStats
+	for _, t := range r.Tenants {
+		if t.ClassA {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ClassBTenants filters.
+func (r SchemeResult) ClassBTenants() []*TenantStats {
+	var out []*TenantStats
+	for _, t := range r.Tenants {
+		if !t.ClassA {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// OutlierFrac returns the fraction of class-A tenants whose p99
+// message latency exceeds `mult` × their estimate (Table 4).
+func (r SchemeResult) OutlierFrac(mult float64) float64 {
+	tenants := r.ClassATenants()
+	if len(tenants) == 0 {
+		return 0
+	}
+	n := 0
+	for _, t := range tenants {
+		if t.LatenciesUs.Len() == 0 {
+			continue
+		}
+		if t.LatenciesUs.Percentile(99)*1e3 > mult*float64(t.EstimateNs) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(tenants))
+}
+
+// RTOTenantCDF returns, over class-A tenants, the per-tenant fraction
+// of messages with RTOs (Figure 13).
+func (r SchemeResult) RTOTenantCDF() *stats.Sample {
+	s := stats.NewSample(len(r.Tenants))
+	for _, t := range r.ClassATenants() {
+		s.Add(100 * t.RTOFrac())
+	}
+	return s
+}
+
+// ClassBNormalizedLatency returns, over class-B tenants, mean message
+// latency normalized to the estimate (Figure 14).
+func (r SchemeResult) ClassBNormalizedLatency() *stats.Sample {
+	s := stats.NewSample(len(r.Tenants))
+	for _, t := range r.ClassBTenants() {
+		if t.LatenciesUs.Len() == 0 || t.EstimateNs == 0 {
+			continue
+		}
+		s.Add(t.LatenciesUs.Mean() * 1e3 / float64(t.EstimateNs))
+	}
+	return s
+}
+
+// RunComparison runs every scheme over the same tenant stream.
+func RunComparison(p ComparisonParams) []SchemeResult {
+	stream := tenantStream(p, stats.NewRand(p.Seed))
+	var out []SchemeResult
+	for _, s := range p.Schemes {
+		out = append(out, runScheme(p, s, stream))
+	}
+	return out
+}
+
+func runScheme(p ComparisonParams, scheme Scheme, stream []tenantRequest) SchemeResult {
+	tree, err := topology.New(topology.Config{
+		Pods:           1,
+		RacksPerPod:    p.Racks,
+		ServersPerRack: p.ServersPerRack,
+		SlotsPerServer: p.SlotsPerServer,
+		LinkBps:        10 * gbps,
+		BufferBytes:    312e3,
+		NICBufferBytes: 62.5e3,
+		RackOversub:    p.Oversub,
+		PodOversub:     1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	nw := netsim.Build(netsim.NewSim(), tree, scheme.netOptions(tree, 200))
+	f := transport.NewFabric(nw)
+	placer := scheme.placer(tree)
+
+	res := SchemeResult{Scheme: scheme, ClassALatUs: stats.NewSample(1 << 16)}
+	slots := tree.Slots()
+	target := int(p.OccupancyTarget * float64(slots))
+	rng := stats.NewRand(p.Seed ^ 0xabcdef)
+
+	type liveTenant struct {
+		dep *Deployment
+		st  *TenantStats
+	}
+	var live []liveTenant
+	vmBase := 1000
+	for i, req := range stream {
+		if res.AdmittedVMs+req.vms > target {
+			continue
+		}
+		spec := tenant.Spec{
+			ID:           i + 1,
+			Name:         fmt.Sprintf("t%d", i+1),
+			VMs:          req.vms,
+			Guarantee:    req.g,
+			FaultDomains: 2,
+		}
+		pl, err := placer.Place(spec)
+		if err != nil {
+			if scheme == SchemeSilo || scheme == SchemeOkto || scheme == SchemeOktoPlus {
+				continue // admission control rejects; try next tenant
+			}
+			continue
+		}
+		dep := DeployTenant(nw, f, scheme, spec, pl, vmBase)
+		vmBase += req.vms + 10
+		st := &TenantStats{
+			ClassA:      req.classA,
+			VMs:         req.vms,
+			LatenciesUs: stats.NewSample(4096),
+		}
+		res.Tenants = append(res.Tenants, st)
+		res.AdmittedVMs += req.vms
+		live = append(live, liveTenant{dep: dep, st: st})
+	}
+
+	horizon := int64(p.DurationSec * 1e9)
+	for _, lt := range live {
+		if lt.st.ClassA {
+			startClassA(nw, lt.dep, lt.st, rng.Split(), horizon, scheme)
+		} else {
+			startClassB(nw, lt.dep, lt.st, horizon, scheme, p.ClassBMsgBytes)
+		}
+	}
+
+	nw.Sim.Run(horizon + int64(3e9)) // drain retransmissions
+	res.Drops = nw.TotalDrops()
+	for _, lt := range live {
+		if lt.st.ClassA {
+			for _, v := range lt.st.LatenciesUs.Values() {
+				res.ClassALatUs.Add(v)
+			}
+		}
+	}
+	return res
+}
+
+// startClassA drives the OLDI pattern: all VMs simultaneously send an
+// S-byte message to VM 0, in rounds whose mean period offers the
+// tenant's average bandwidth.
+func startClassA(nw *netsim.Network, dep *Deployment, st *TenantStats, rng *stats.Rand, horizon int64, scheme Scheme) {
+	g := dep.Spec.Guarantee
+	// OLDI responses are a fraction of the burst allowance (the
+	// paper's Table-1 analysis: low lateness needs the allowance to
+	// cover a few messages).
+	msg := int(g.BurstBytes / 3)
+	if msg < 1500 {
+		msg = 1500
+	}
+	st.EstimateNs = classAEstimateNs(g, msg)
+	if scheme.Paced() {
+		CoordinateHose(nw, dep, workload.AllToOne(dep.Spec.VMs), HoseFairShare)
+	}
+	aggVM := dep.VMIDs[0]
+	// The aggregator's receive hose (B) bounds the sustainable load:
+	// each round moves (N−1)·msg bytes into it. Offer a quarter of
+	// that rate: bursty but sparse, as OLDI queries are (the burst
+	// allowance is what makes them fast).
+	meanPeriod := 4 * float64(dep.Spec.VMs-1) * float64(msg) / g.BandwidthBps * 1e9
+	var round func()
+	nextRound := int64(rng.Exp(meanPeriod))
+	round = func() {
+		for i := 1; i < dep.Spec.VMs; i++ {
+			ep := dep.Endpoints[i]
+			st.Messages++
+			ep.SendMessage(aggVM, msg, func(m *transport.Message) {
+				st.LatenciesUs.Add(float64(m.Latency()) / 1e3)
+				if m.RTOs > 0 {
+					st.MessagesRTO++
+				}
+			})
+		}
+		nextRound += int64(rng.Exp(meanPeriod))
+		if nextRound < horizon {
+			nw.Sim.At(nextRound, round)
+		}
+	}
+	nw.Sim.At(nextRound, round)
+}
+
+// classAEstimateNs is the paper's message-latency estimate for a
+// class-A burst: M/Bmax + d (M is within the burst allowance).
+func classAEstimateNs(g tenant.Guarantee, msg int) int64 {
+	bmax := g.BurstRateBps
+	if bmax <= 0 {
+		bmax = g.BandwidthBps
+	}
+	return int64((float64(msg)/bmax + g.DelayBound) * 1e9)
+}
+
+// startClassB drives the shuffle: every VM continuously streams
+// fixed-size messages to each of its all-to-all peers.
+func startClassB(nw *netsim.Network, dep *Deployment, st *TenantStats, horizon int64, scheme Scheme, msgBytes int) {
+	n := dep.Spec.VMs
+	g := dep.Spec.Guarantee
+	// Per-flow reserved rate under the hose model: B/(N−1); the
+	// estimate is the transfer time at that rate.
+	perFlow := g.BandwidthBps / float64(n-1)
+	st.EstimateNs = int64(float64(msgBytes) / perFlow * 1e9)
+	if scheme.Paced() {
+		CoordinateHose(nw, dep, workload.AllToAll(n), HoseFairShare)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j || dep.Placement.Servers[i] == dep.Placement.Servers[j] {
+				continue
+			}
+			ep := dep.Endpoints[i]
+			dstVM := dep.VMIDs[j]
+			var pump func(*transport.Message)
+			pump = func(prev *transport.Message) {
+				if prev != nil {
+					st.LatenciesUs.Add(float64(prev.Latency()) / 1e3)
+					if prev.RTOs > 0 {
+						st.MessagesRTO++
+					}
+				}
+				if nw.Sim.Now() < horizon {
+					st.Messages++
+					ep.SendMessage(dstVM, msgBytes, pump)
+				}
+			}
+			pump(nil)
+		}
+	}
+}
+
+// RenderComparison formats Figures 12–14 and Table 4.
+func RenderComparison(results []SchemeResult) string {
+	var b strings.Builder
+	b.WriteString("Figure 12 — class-A message latency (µs):\n")
+	fmt.Fprintf(&b, "%-8s %10s %10s %10s %10s %8s\n", "scheme", "p50", "p95", "p99", "max", "drops")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-8s %10.0f %10.0f %10.0f %10.0f %8d\n", r.Scheme,
+			r.ClassALatUs.Percentile(50), r.ClassALatUs.Percentile(95),
+			r.ClassALatUs.Percentile(99), r.ClassALatUs.Max(), r.Drops)
+	}
+	b.WriteString("\nFigure 13 — % of class-A tenants vs % messages with RTOs (p50/p90/max):\n")
+	for _, r := range results {
+		cdf := r.RTOTenantCDF()
+		fmt.Fprintf(&b, "%-8s p50=%.2f%% p90=%.2f%% max=%.2f%%\n", r.Scheme,
+			cdf.Percentile(50), cdf.Percentile(90), cdf.Max())
+	}
+	b.WriteString("\nTable 4 — outlier class-A tenants (%):\n")
+	fmt.Fprintf(&b, "%-8s %10s %10s %10s\n", "scheme", "1x", "2x", "8x")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-8s %10.1f %10.1f %10.1f\n", r.Scheme,
+			100*r.OutlierFrac(1), 100*r.OutlierFrac(2), 100*r.OutlierFrac(8))
+	}
+	b.WriteString("\nFigure 14 — class-B mean latency / estimate (p10/p50/p90):\n")
+	for _, r := range results {
+		s := r.ClassBNormalizedLatency()
+		fmt.Fprintf(&b, "%-8s p10=%.2f p50=%.2f p90=%.2f\n", r.Scheme,
+			s.Percentile(10), s.Percentile(50), s.Percentile(90))
+	}
+	return b.String()
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestDynamicCoordinationMeetsGuarantee validates the EyeQ-style
+// dynamic hose loop end to end: even at req1 (guarantee == average
+// demand, the paper's hardest configuration), the p99 request latency
+// stays within the message-latency guarantee.
+func TestDynamicCoordinationMeetsGuarantee(t *testing.T) {
+	if testing.Short() {
+		t.Skip("packet-level simulation")
+	}
+	p := DefaultMemcachedParams()
+	p.DurationSec = 0.1
+	a, b := Table2Guarantees(1)
+	r, err := RunMemcachedScenario(p, MemcachedScenario{
+		Name: "Silo req1 dynamic", WithBulk: true, GuaranteeA: &a, GuaranteeB: &b,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RequestsCompleted == 0 {
+		t.Fatal("no requests completed")
+	}
+	if got := r.Latencies.Percentile(99); got > r.GuaranteeUs {
+		t.Errorf("dynamic req1 p99 = %.0f µs exceeds guarantee %.0f µs", got, r.GuaranteeUs)
+	}
+	if r.BulkThroughputBps()*8/1e9 < 20 {
+		t.Errorf("bulk throughput %.1f Gbps too low", r.BulkThroughputBps()*8/1e9)
+	}
+}

@@ -1,0 +1,263 @@
+// Package experiments reproduces every table and figure in Silo's
+// evaluation (§6). Each experiment is a pure function from a
+// parameter struct to a result struct plus a text renderer, shared by
+// the cmd/silo-bench CLI and the root testing.B benchmarks. See
+// DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured numbers.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/pacer"
+	"repro/internal/placement"
+	"repro/internal/tenant"
+	"repro/internal/topology"
+	"repro/internal/transport"
+)
+
+// Scheme identifies one end-to-end system configuration from the
+// paper's comparison (§6.2).
+type Scheme int
+
+// Schemes under comparison.
+const (
+	// SchemeSilo: Silo placement + full pacing (B, S, Bmax, voids) +
+	// TCP.
+	SchemeSilo Scheme = iota
+	// SchemeTCP: locality placement, plain TCP, no protection.
+	SchemeTCP
+	// SchemeDCTCP: locality placement, DCTCP with ECN switches.
+	SchemeDCTCP
+	// SchemeHULL: locality placement, DCTCP over phantom queues.
+	SchemeHULL
+	// SchemeOkto: Oktopus placement + average-rate enforcement
+	// (no bursts) + TCP.
+	SchemeOkto
+	// SchemeOktoPlus: Oktopus placement + rate enforcement with burst
+	// allowance + TCP.
+	SchemeOktoPlus
+)
+
+// AllSchemes lists the comparison set in the paper's order.
+var AllSchemes = []Scheme{SchemeSilo, SchemeTCP, SchemeDCTCP, SchemeHULL, SchemeOkto, SchemeOktoPlus}
+
+func (s Scheme) String() string {
+	switch s {
+	case SchemeSilo:
+		return "Silo"
+	case SchemeTCP:
+		return "TCP"
+	case SchemeDCTCP:
+		return "DCTCP"
+	case SchemeHULL:
+		return "HULL"
+	case SchemeOkto:
+		return "Okto"
+	case SchemeOktoPlus:
+		return "Okto+"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// Paced reports whether the scheme rate-limits VM egress.
+func (s Scheme) Paced() bool {
+	return s == SchemeSilo || s == SchemeOkto || s == SchemeOktoPlus
+}
+
+// placer returns the scheme's placement algorithm over a tree.
+func (s Scheme) placer(tree *topology.Tree) placement.Algorithm {
+	switch s {
+	case SchemeSilo:
+		return placement.NewManager(tree, placement.Options{})
+	case SchemeOkto, SchemeOktoPlus:
+		return placement.NewOktopus(tree)
+	default:
+		return placement.NewLocality(tree)
+	}
+}
+
+// netOptions returns the scheme's switch configuration.
+func (s Scheme) netOptions(tree *topology.Tree, propNs int64) netsim.Options {
+	o := netsim.Options{PropNs: propNs}
+	switch s {
+	case SchemeDCTCP:
+		// DCTCP marking threshold K ≈ 65 packets at 10 Gbps
+		// (Alizadeh et al. use K=65 MTU for 10 GbE).
+		o.ECNThresholdBytes = 65 * 1500
+	case SchemeHULL:
+		// HULL: phantom queue draining at 95% line rate, marking at
+		// ~1 KB × (rate/1Gbps) ≈ 15 KB at 10 GbE.
+		o.PhantomGamma = 0.95
+		o.PhantomThresholdBytes = 15e3
+	}
+	return o
+}
+
+// transportOptions returns the scheme's endpoint configuration.
+// minRTO follows each system's deployment practice: 200 ms for stock
+// TCP and the rate-enforced schemes (which run stock stacks), 10 ms
+// for DCTCP/HULL.
+func (s Scheme) transportOptions() transport.Options {
+	// 256 KB send buffers: ~2× the BDP of a 10 GbE datacenter path,
+	// matching OS autotuning on low-RTT networks.
+	const wmem = 256 << 10
+	switch s {
+	case SchemeDCTCP, SchemeHULL:
+		return transport.Options{Variant: transport.DCTCP, MinRTONs: 10_000_000, MaxCwndBytes: wmem}
+	default:
+		return transport.Options{Variant: transport.Reno, MinRTONs: 200_000_000, Paced: s.Paced(), MaxCwndBytes: wmem}
+	}
+}
+
+// pacerGuarantee maps a tenant guarantee to the scheme's pacer
+// configuration; ok is false for unpaced schemes.
+func (s Scheme) pacerGuarantee(g tenant.Guarantee) (pacer.Guarantee, bool) {
+	switch s {
+	case SchemeSilo:
+		return pacer.Guarantee{
+			BandwidthBps: g.BandwidthBps,
+			BurstBytes:   g.BurstBytes,
+			BurstRateBps: g.BurstRateBps,
+			MTUBytes:     1518,
+		}, true
+	case SchemeOkto:
+		// Oktopus enforces the average rate only: no burst, bursts go
+		// at B.
+		return pacer.Guarantee{
+			BandwidthBps: g.BandwidthBps,
+			BurstBytes:   1518,
+			BurstRateBps: g.BandwidthBps,
+			MTUBytes:     1518,
+		}, true
+	case SchemeOktoPlus:
+		// Okto+ adds Silo's burst allowance on top of Oktopus
+		// placement.
+		return pacer.Guarantee{
+			BandwidthBps: g.BandwidthBps,
+			BurstBytes:   g.BurstBytes,
+			BurstRateBps: g.BurstRateBps,
+			MTUBytes:     1518,
+		}, true
+	default:
+		return pacer.Guarantee{}, false
+	}
+}
+
+// Deployment is one tenant instantiated on a network under a scheme.
+type Deployment struct {
+	Spec      tenant.Spec
+	Placement *tenant.Placement
+	VMIDs     []int
+	Endpoints []*transport.Endpoint
+}
+
+// DeployTenant places nothing (the placement is given) but
+// instantiates pacer VMs and transport endpoints for a tenant under a
+// scheme.
+func DeployTenant(nw *netsim.Network, f *transport.Fabric, scheme Scheme, spec tenant.Spec, pl *tenant.Placement, vmBase int) *Deployment {
+	topt := scheme.transportOptions()
+	d := &Deployment{
+		Spec:      spec,
+		Placement: pl,
+		VMIDs:     make([]int, spec.VMs),
+		Endpoints: make([]*transport.Endpoint, spec.VMs),
+	}
+	pg, paced := scheme.pacerGuarantee(spec.Guarantee)
+	for i := 0; i < spec.VMs; i++ {
+		vmID := vmBase + i
+		d.VMIDs[i] = vmID
+		hostID := pl.Servers[i]
+		host := nw.Hosts[hostID]
+		if paced {
+			if !host.Paced() {
+				host.EnablePacing(pacer.NewBatcher(nw.Tree.Config().LinkBps))
+			}
+			host.AddVM(pacer.NewVM(vmID, pg, nw.Sim.Now()))
+		}
+		d.Endpoints[i] = f.AddEndpoint(vmID, hostID, topt)
+	}
+	return d
+}
+
+// StartDynamicCoordination launches the EyeQ-style coordination loop
+// for a deployment: every epochNs, active VM pairs split the hose
+// guarantees max-min; idle pairs revert to the full entitlement
+// (paper §4.3). This is the production behaviour; the static HoseMode
+// fixed points below remain for experiments that want a converged
+// state from t=0.
+func StartDynamicCoordination(nw *netsim.Network, d *Deployment, epochNs int64) *pacer.Coordinator {
+	vms := make(map[int]*pacer.VM, len(d.VMIDs))
+	for i, id := range d.VMIDs {
+		if vm, ok := nw.Hosts[d.Placement.Servers[i]].VM(id); ok {
+			vms[id] = vm
+		}
+	}
+	coord := pacer.NewCoordinator(d.Spec.Guarantee.BandwidthBps, vms)
+	var tick func()
+	tick = func() {
+		coord.Epoch(nw.Sim.Now())
+		nw.Sim.After(epochNs, tick)
+	}
+	nw.Sim.After(0, tick)
+	return coord
+}
+
+// HoseMode selects how per-destination rates are derived from a
+// pattern. The production system converges EyeQ-style on live demand;
+// these are the two static fixed points the evaluation needs.
+type HoseMode int
+
+// Hose coordination modes.
+const (
+	// HoseFairShare splits guarantees max-min across the pattern's
+	// pairs — the converged state when every pair is backlogged
+	// (class-A all-to-one bursts).
+	HoseFairShare HoseMode = iota
+	// HosePeak allows each pair the full min(B_src, B_dst) — the
+	// converged state under light, non-overlapping demand
+	// (request/response workloads); the {B,S} bucket still enforces
+	// the aggregate.
+	HosePeak
+)
+
+// CoordinateHose installs hose-model per-destination rates for a
+// static pattern on a paced deployment.
+func CoordinateHose(nw *netsim.Network, d *Deployment, pat [][]int, mode HoseMode) {
+	b := d.Spec.Guarantee.BandwidthBps
+	rates := map[pacer.Flow]float64{}
+	if mode == HosePeak {
+		for src, dsts := range pat {
+			for _, dst := range dsts {
+				rates[pacer.Flow{Src: d.VMIDs[src], Dst: d.VMIDs[dst]}] = b
+			}
+		}
+	} else {
+		send := map[int]float64{}
+		recv := map[int]float64{}
+		var flows []pacer.Flow
+		for src, dsts := range pat {
+			for _, dst := range dsts {
+				s, r := d.VMIDs[src], d.VMIDs[dst]
+				send[s] = b
+				recv[r] = b
+				flows = append(flows, pacer.Flow{Src: s, Dst: r})
+			}
+		}
+		rates = pacer.HoseAllocate(send, recv, flows)
+	}
+	now := nw.Sim.Now()
+	for fl, rate := range rates {
+		for i, id := range d.VMIDs {
+			if id != fl.Src {
+				continue
+			}
+			if vm, ok := nw.Hosts[d.Placement.Servers[i]].VM(fl.Src); ok {
+				vm.SetDestRate(now, fl.Dst, rate)
+			}
+			break
+		}
+	}
+}

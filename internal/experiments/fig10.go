@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/pacer"
+)
+
+// Figure10Row is one rate-limit point of the pacer microbenchmark
+// (paper Figure 10): the data/void throughput split and the CPU cost
+// of batch construction at that rate.
+type Figure10Row struct {
+	RateGbps float64
+	// DataGbps and VoidGbps split the wire throughput.
+	DataGbps, VoidGbps float64
+	// PacketsPerSec is the total frame rate (data + void), the
+	// quantity the paper's CPU usage tracks.
+	PacketsPerSec float64
+	// NsPerPacket is the measured cost of pacing per frame (batch
+	// construction amortized), the CPU-usage proxy.
+	NsPerPacket float64
+	// NsPerDataPacket amortizes over data frames only.
+	NsPerDataPacket float64
+}
+
+// Figure10Params configures the sweep.
+type Figure10Params struct {
+	// LineRateBps of the NIC (paper: 10 GbE).
+	LineRateBps float64
+	// RateLimitsGbps are the x-axis points.
+	RateLimitsGbps []float64
+	// WireSeconds of traffic to pace per point.
+	WireSeconds float64
+	// PayloadBytes per data frame (paper uses MTU frames).
+	PayloadBytes int
+}
+
+// DefaultFigure10Params mirrors the paper's sweep (1..10 Gbps on
+// 10 GbE).
+func DefaultFigure10Params() Figure10Params {
+	return Figure10Params{
+		LineRateBps:    10 * gbps,
+		RateLimitsGbps: []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+		WireSeconds:    0.05,
+		PayloadBytes:   1500,
+	}
+}
+
+// RunFigure10 measures the pacer's real code path: it builds batches
+// for a backlogged VM at each rate limit and reports throughput split
+// and per-frame cost in wall-clock nanoseconds.
+func RunFigure10(p Figure10Params) []Figure10Row {
+	var rows []Figure10Row
+	for _, rl := range p.RateLimitsGbps {
+		rows = append(rows, figure10Point(p, rl))
+	}
+	return rows
+}
+
+func figure10Point(p Figure10Params, rateGbps float64) Figure10Row {
+	rate := rateGbps * gbps
+	horizonNs := int64(p.WireSeconds * 1e9)
+	// Number of data frames the rate limit admits over the horizon.
+	nData := int(rate * p.WireSeconds / float64(p.PayloadBytes))
+
+	vm := pacer.NewVM(1, pacer.Guarantee{
+		BandwidthBps: rate,
+		BurstBytes:   float64(p.PayloadBytes),
+		BurstRateBps: 0,
+		MTUBytes:     float64(p.PayloadBytes),
+	}, 0)
+	b := pacer.NewBatcher(p.LineRateBps)
+
+	start := time.Now()
+	for i := 0; i < nData; i++ {
+		vm.Enqueue(0, 2, p.PayloadBytes, nil)
+	}
+	var dataBytes, voidBytes, frames, dataFrames int64
+	var cursor int64
+	for cursor < horizonNs {
+		batch := b.Build(cursor, []*pacer.VM{vm})
+		if len(batch.Packets) == 0 {
+			break
+		}
+		dataBytes += int64(batch.DataBytes)
+		voidBytes += int64(batch.VoidBytes)
+		frames += int64(len(batch.Packets))
+		dataFrames += int64(batch.DataPackets())
+		cursor = batch.End
+	}
+	elapsed := time.Since(start)
+
+	wireSec := float64(cursor) / 1e9
+	if wireSec == 0 {
+		wireSec = p.WireSeconds
+	}
+	row := Figure10Row{
+		RateGbps: rateGbps,
+		DataGbps: float64(dataBytes) * 8 / wireSec / 1e9,
+		VoidGbps: float64(voidBytes) * 8 / wireSec / 1e9,
+	}
+	if frames > 0 {
+		row.PacketsPerSec = float64(frames) / wireSec
+		row.NsPerPacket = float64(elapsed.Nanoseconds()) / float64(frames)
+	}
+	if dataFrames > 0 {
+		row.NsPerDataPacket = float64(elapsed.Nanoseconds()) / float64(dataFrames)
+	}
+	return row
+}
+
+// RenderFigure10 formats the sweep as the paper's two panels.
+func RenderFigure10(rows []Figure10Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s %10s %10s %12s %12s %14s\n",
+		"limit(Gb)", "data(Gb)", "void(Gb)", "frames/s", "ns/frame", "ns/data-frame")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%10.1f %10.2f %10.2f %12.3g %12.1f %14.1f\n",
+			r.RateGbps, r.DataGbps, r.VoidGbps, r.PacketsPerSec, r.NsPerPacket, r.NsPerDataPacket)
+	}
+	return b.String()
+}

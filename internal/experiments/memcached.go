@@ -1,0 +1,402 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/tenant"
+	"repro/internal/topology"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+const (
+	mbps = 1e6 / 8
+	gbps = 1e9 / 8
+)
+
+// MemcachedParams configures the §6.1 testbed reproduction: five
+// servers under one 10 GbE switch, tenant A (memcached, 15 VMs, ETC
+// workload) and tenant B (netperf bulk, 15 VMs), three VMs of each per
+// server.
+type MemcachedParams struct {
+	// Servers in the rack (paper: 5).
+	Servers int
+	// VMsPerTenantPerServer (paper: 3).
+	VMsPerTenantPerServer int
+	// DurationSec of simulated load.
+	DurationSec float64
+	// TargetABps is tenant A's aggregate offered load (paper: average
+	// bandwidth requirement 210 Mbps).
+	TargetABps float64
+	// BulkMsgBytes is the netperf message size.
+	BulkMsgBytes int
+	// DynamicHoseEpochNs, when > 0, replaces the static hose
+	// coordination with the EyeQ-style dynamic loop at that epoch.
+	DynamicHoseEpochNs int64
+	Seed               uint64
+}
+
+// DefaultMemcachedParams returns the paper's configuration at a
+// simulation-friendly duration.
+func DefaultMemcachedParams() MemcachedParams {
+	return MemcachedParams{
+		Servers:               5,
+		VMsPerTenantPerServer: 3,
+		DurationSec:           0.5,
+		TargetABps:            210 * mbps,
+		BulkMsgBytes:          1 << 20,
+		DynamicHoseEpochNs:    1_000_000, // EyeQ-style loop at 1 ms
+		Seed:                  1,
+	}
+}
+
+// MemcachedScenario is one line of Figure 11.
+type MemcachedScenario struct {
+	Name string
+	// WithBulk runs tenant B alongside.
+	WithBulk bool
+	// Paced applies Silo pacing with the given tenant guarantees
+	// (Table 2); nil means plain TCP.
+	GuaranteeA *tenant.Guarantee
+	GuaranteeB *tenant.Guarantee
+}
+
+// Table2Guarantees returns the paper's req-1..3 guarantee pairs
+// (Table 2), parameterized by the A-tenant bandwidth multiplier.
+func Table2Guarantees(req int) (a, b tenant.Guarantee) {
+	var aB float64
+	switch req {
+	case 1:
+		aB = 210 * mbps
+	case 2:
+		aB = 315 * mbps
+	default:
+		aB = 420 * mbps
+	}
+	// Per host: 3·(B_A + B_B) = 10 Gbps (paper Table 2 note).
+	bB := 10*gbps/3 - aB
+	a = tenant.Guarantee{BandwidthBps: aB, BurstBytes: 1.5e3, DelayBound: 1e-3, BurstRateBps: 1 * gbps}
+	b = tenant.Guarantee{BandwidthBps: bB, BurstBytes: 1.5e3, BurstRateBps: bB}
+	return a, b
+}
+
+// MemcachedResult is one scenario's outcome.
+type MemcachedResult struct {
+	Scenario string
+	// Latencies are memcached request latencies in µs.
+	Latencies *stats.Sample
+	// RequestsCompleted and offered.
+	RequestsCompleted, RequestsIssued int
+	// BulkBytes delivered to tenant-B receivers.
+	BulkBytes int64
+	// SimSeconds of load.
+	SimSeconds float64
+	// GuaranteeUs is Silo's message latency guarantee for the ETC
+	// request/response pair in µs (0 for unpaced scenarios).
+	GuaranteeUs float64
+}
+
+// MemcachedThroughputRps returns completed requests per second.
+func (r MemcachedResult) MemcachedThroughputRps() float64 {
+	if r.SimSeconds == 0 {
+		return 0
+	}
+	return float64(r.RequestsCompleted) / r.SimSeconds
+}
+
+// BulkThroughputBps returns tenant B's delivered bandwidth.
+func (r MemcachedResult) BulkThroughputBps() float64 {
+	if r.SimSeconds == 0 {
+		return 0
+	}
+	return float64(r.BulkBytes) / r.SimSeconds
+}
+
+// testbedTree builds the 1-rack, 5-server, 10 GbE testbed.
+func testbedTree(servers, slots int) (*topology.Tree, error) {
+	return topology.New(topology.Config{
+		Pods:           1,
+		RacksPerPod:    1,
+		ServersPerRack: servers,
+		SlotsPerServer: slots,
+		LinkBps:        10 * gbps,
+		BufferBytes:    312e3,
+		NICBufferBytes: 62.5e3,
+		RackOversub:    1,
+		PodOversub:     1,
+	})
+}
+
+// RunMemcachedScenario runs one Figure-11 line.
+func RunMemcachedScenario(p MemcachedParams, sc MemcachedScenario) (MemcachedResult, error) {
+	tree, err := testbedTree(p.Servers, 2*p.VMsPerTenantPerServer)
+	if err != nil {
+		return MemcachedResult{}, err
+	}
+	nw := netsim.Build(netsim.NewSim(), tree, netsim.Options{PropNs: 200})
+	f := transport.NewFabric(nw)
+	rng := stats.NewRand(p.Seed)
+
+	nA := p.Servers * p.VMsPerTenantPerServer
+	// Fixed testbed placement: VM i of each tenant on server i/3.
+	mkPlacement := func(spec tenant.Spec) *tenant.Placement {
+		servers := make([]int, spec.VMs)
+		for i := range servers {
+			servers[i] = i / p.VMsPerTenantPerServer
+		}
+		return &tenant.Placement{Spec: spec, Servers: servers}
+	}
+
+	scheme := SchemeTCP
+	specA := tenant.Spec{ID: 1, Name: "A", VMs: nA}
+	specB := tenant.Spec{ID: 2, Name: "B", VMs: nA}
+	if sc.GuaranteeA != nil {
+		scheme = SchemeSilo
+		specA.Guarantee = *sc.GuaranteeA
+		specB.Guarantee = *sc.GuaranteeB
+	}
+	depA := DeployTenant(nw, f, scheme, specA, mkPlacement(specA), 1000)
+	var depB *Deployment
+	if sc.WithBulk {
+		depB = DeployTenant(nw, f, scheme, specB, mkPlacement(specB), 2000)
+	}
+
+	res := MemcachedResult{
+		Scenario:   sc.Name,
+		Latencies:  stats.NewSample(1 << 16),
+		SimSeconds: p.DurationSec,
+	}
+	if sc.GuaranteeA != nil {
+		// Request + response both within the burst allowance: the
+		// guarantee is (reqBytes+respMax)/Bmax + 2d.
+		g := *sc.GuaranteeA
+		res.GuaranteeUs = (g.MessageLatencyBound(100) + g.MessageLatencyBound(1024)) * 1e6
+	}
+
+	// Tenant A: VM 0 is the memcached server; the rest are clients.
+	serverVM := depA.VMIDs[0]
+	serverEp := depA.Endpoints[0]
+	type reqInfo struct {
+		clientVM  int
+		respBytes int
+		issued    int64
+	}
+	reqByID := map[uint64]*reqInfo{}
+	respByID := map[uint64]*reqInfo{}
+
+	serverEp.OnMessage = func(srcVM int, msgID uint64, size int) {
+		ri, ok := reqByID[msgID]
+		if !ok {
+			return
+		}
+		delete(reqByID, msgID)
+		m := serverEp.SendMessage(ri.clientVM, ri.respBytes, nil)
+		respByID[m.ID] = ri
+	}
+
+	if scheme == SchemeSilo {
+		if p.DynamicHoseEpochNs > 0 {
+			StartDynamicCoordination(nw, depA, p.DynamicHoseEpochNs)
+			if depB != nil {
+				StartDynamicCoordination(nw, depB, p.DynamicHoseEpochNs)
+			}
+		} else {
+			// Static fixed points: A's request/response load is light
+			// and non-overlapping (peak); B's shuffle is backlogged
+			// everywhere (fair share).
+			patA := make(workload.Pattern, nA)
+			for i := 1; i < nA; i++ {
+				patA[i] = []int{0}
+				patA[0] = append(patA[0], i)
+			}
+			CoordinateHose(nw, depA, patA, HosePeak)
+			if depB != nil {
+				CoordinateHose(nw, depB, crossServerAllToAll(nA, p.VMsPerTenantPerServer), HoseFairShare)
+			}
+		}
+	}
+
+	// Drive the ETC workload: aggregate load TargetABps split over
+	// clients. Each request moves ≈(100+mean value) bytes. Clients are
+	// closed-loop with limited concurrency, like memcached's
+	// synchronous transactions (§6.1): a request past the concurrency
+	// limit waits for an outstanding response.
+	const clientConcurrency = 4
+	etc := workload.DefaultETC()
+	meanVal := etc.MeanValueBytes(stats.NewRand(99), 50000)
+	perClient := p.TargetABps / float64(nA-1)
+	reqRate := perClient / (100 + meanVal) // requests/sec per client
+	etc.GapScale = 1 / reqRate * (1 - etc.GapShape)
+	horizon := int64(p.DurationSec * 1e9)
+	type clientState struct {
+		outstanding int
+		dueValues   []int // response sizes of due-but-unissued requests
+		issue       func(valueBytes int)
+	}
+	clients := map[int]*clientState{} // by client VM id
+	for i := 1; i < nA; i++ {
+		cs := &clientState{}
+		clients[depA.VMIDs[i]] = cs
+		gen := workload.NewETCGenerator(etc, rng.Split(), 0)
+		clientEp := depA.Endpoints[i]
+		cs.issue = func(valueBytes int) {
+			res.RequestsIssued++
+			cs.outstanding++
+			ri := &reqInfo{clientVM: clientEp.VMID, respBytes: valueBytes, issued: nw.Sim.Now()}
+			m := clientEp.SendMessage(serverVM, 100, nil)
+			reqByID[m.ID] = ri
+		}
+		var schedule func()
+		schedule = func() {
+			req := gen.Next()
+			if req.At >= horizon {
+				return
+			}
+			nw.Sim.At(req.At, func() {
+				if cs.outstanding < clientConcurrency {
+					cs.issue(req.ValueBytes)
+				} else {
+					cs.dueValues = append(cs.dueValues, req.ValueBytes)
+				}
+				schedule()
+			})
+		}
+		schedule()
+		// Response completion: record latency and release the closed
+		// loop.
+		clientEp.OnMessage = func(srcVM int, msgID uint64, size int) {
+			ri, ok := respByID[msgID]
+			if !ok {
+				return
+			}
+			delete(respByID, msgID)
+			res.RequestsCompleted++
+			res.Latencies.Add(float64(nw.Sim.Now()-ri.issued) / 1e3) // µs
+			cs.outstanding--
+			if len(cs.dueValues) > 0 && cs.outstanding < clientConcurrency {
+				v := cs.dueValues[0]
+				cs.dueValues = cs.dueValues[1:]
+				cs.issue(v)
+			}
+		}
+	}
+
+	// Tenant B: continuous bulk messages between cross-server pairs.
+	if depB != nil {
+		pat := crossServerAllToAll(nA, p.VMsPerTenantPerServer)
+		for src, dsts := range pat {
+			for _, dst := range dsts {
+				srcEp := depB.Endpoints[src]
+				dstVM := depB.VMIDs[dst]
+				var pump func(*transport.Message)
+				pump = func(*transport.Message) {
+					if nw.Sim.Now() < horizon {
+						srcEp.SendMessage(dstVM, p.BulkMsgBytes, pump)
+					}
+				}
+				pump(nil)
+			}
+		}
+	}
+
+	nw.Sim.Run(horizon + int64(2e9)) // drain tail
+	if depB != nil {
+		for i, ep := range depB.Endpoints {
+			for j := range depB.Endpoints {
+				if i != j {
+					res.BulkBytes += ep.BytesReceived(depB.VMIDs[j])
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// crossServerAllToAll builds tenant B's shuffle pattern excluding
+// same-server pairs (which never cross the network).
+func crossServerAllToAll(n, perServer int) workload.Pattern {
+	pat := make(workload.Pattern, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && i/perServer != j/perServer {
+				pat[i] = append(pat[i], j)
+			}
+		}
+	}
+	return pat
+}
+
+// Figure11Scenarios returns the five scenario lines of Figure 11
+// (idle TCP, contended TCP, Silo req 1–3).
+func Figure11Scenarios() []MemcachedScenario {
+	scs := []MemcachedScenario{
+		{Name: "TCP (idle)", WithBulk: false},
+		{Name: "TCP", WithBulk: true},
+	}
+	for req := 1; req <= 3; req++ {
+		a, b := Table2Guarantees(req)
+		scs = append(scs, MemcachedScenario{
+			Name:       fmt.Sprintf("Silo req%d", req),
+			WithBulk:   true,
+			GuaranteeA: &a,
+			GuaranteeB: &b,
+		})
+	}
+	return scs
+}
+
+// RunFigure1 runs the motivation experiment: memcached alone vs with
+// competing netperf traffic, both plain TCP (Figure 1).
+func RunFigure1(p MemcachedParams) ([]MemcachedResult, error) {
+	var out []MemcachedResult
+	for _, sc := range []MemcachedScenario{
+		{Name: "Memcached alone", WithBulk: false},
+		{Name: "Memcached with netperf", WithBulk: true},
+	} {
+		r, err := RunMemcachedScenario(p, sc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// RunFigure11 runs all five scenario lines.
+func RunFigure11(p MemcachedParams) ([]MemcachedResult, error) {
+	var out []MemcachedResult
+	for _, sc := range Figure11Scenarios() {
+		r, err := RunMemcachedScenario(p, sc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// RenderMemcached formats results as the paper's Figure 11(b)/(c)
+// tables.
+func RenderMemcached(results []MemcachedResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %10s %10s %10s %12s %14s %14s\n",
+		"scenario", "p50(µs)", "p99(µs)", "p99.9(µs)", "guarantee(µs)", "memcached(req/s)", "bulk(Gbps)")
+	for _, r := range results {
+		g := "-"
+		if r.GuaranteeUs > 0 {
+			g = fmt.Sprintf("%.0f", r.GuaranteeUs)
+		}
+		fmt.Fprintf(&b, "%-24s %10.0f %10.0f %10.0f %12s %14.0f %14.2f\n",
+			r.Scenario,
+			r.Latencies.Percentile(50),
+			r.Latencies.Percentile(99),
+			r.Latencies.Percentile(99.9),
+			g,
+			r.MemcachedThroughputRps(),
+			r.BulkThroughputBps()*8/1e9)
+	}
+	return b.String()
+}

@@ -1,0 +1,185 @@
+package netcal
+
+import "math"
+
+// QueueBound returns the maximum horizontal deviation between arrival
+// curve a and service curve s — the worst-case queuing delay (seconds)
+// a packet experiences at a port serving a-shaped traffic (paper
+// Fig. 6b: the largest q such that s(t) = a(t − q)).
+//
+// If the arrival curve's long-term rate exceeds the service curve's,
+// the queue grows without bound and +Inf is returned.
+func QueueBound(a, s Curve) float64 {
+	if a.Zero() {
+		return 0
+	}
+	if a.LongTermRate() > s.LongTermRate() {
+		return math.Inf(1)
+	}
+	// The maximum horizontal deviation of piecewise-linear curves is
+	// attained at a breakpoint of one of them: for each breakpoint
+	// (t, y) of a, the delay is the time until s reaches y; for each
+	// breakpoint of s at height y, the delay is measured back to where
+	// a reached y. Checking the arrival curve's breakpoints plus the
+	// service curve's breakpoint heights covers all candidates.
+	best := 0.0
+	consider := func(t, y float64) {
+		ts := timeToReach(s, y)
+		if ts == math.Inf(1) {
+			best = math.Inf(1)
+			return
+		}
+		if d := ts - t; d > best {
+			best = d
+		}
+	}
+	for _, seg := range a.segs {
+		consider(seg.X, a.Eval(seg.X))
+	}
+	for _, seg := range s.segs {
+		y := s.Eval(seg.X)
+		ta := timeWhenArrived(a, y)
+		consider(ta, y)
+	}
+	if math.IsInf(best, 1) {
+		return best
+	}
+	if best < 0 {
+		best = 0
+	}
+	return best
+}
+
+// Backlog returns the maximum vertical deviation between a and s — the
+// worst-case queue occupancy in bytes. +Inf if a's long-term rate
+// exceeds s's.
+func Backlog(a, s Curve) float64 {
+	if a.Zero() {
+		return 0
+	}
+	if a.LongTermRate() > s.LongTermRate() {
+		return math.Inf(1)
+	}
+	best := 0.0
+	consider := func(t float64) {
+		if d := a.Eval(t) - s.Eval(t); d > best {
+			best = d
+		}
+	}
+	for _, seg := range a.segs {
+		consider(seg.X)
+	}
+	for _, seg := range s.segs {
+		consider(seg.X)
+	}
+	return best
+}
+
+// BusyPeriod returns the paper's p value: the maximum interval over
+// which the port's queue must empty at least once — the first time
+// t > 0 at which s(t) >= a(t). Kurose's analysis bounds the egress
+// burst added by a switch by the traffic arriving within p. +Inf if the
+// curves never meet.
+func BusyPeriod(a, s Curve) float64 {
+	if a.Zero() {
+		return 0
+	}
+	if a.LongTermRate() > s.LongTermRate() {
+		return math.Inf(1)
+	}
+	// Scan the merged breakpoints; within each interval both curves are
+	// linear, so the meeting point solves exactly.
+	xs := make([]float64, 0, len(a.segs)+len(s.segs))
+	for _, seg := range a.segs {
+		xs = append(xs, seg.X)
+	}
+	for _, seg := range s.segs {
+		xs = append(xs, seg.X)
+	}
+	xs = dedupFloats(sortedFloats(xs))
+	for i := 0; i < len(xs); i++ {
+		x0 := xs[i]
+		x1 := math.Inf(1)
+		if i+1 < len(xs) {
+			x1 = xs[i+1]
+		}
+		d0 := a.Eval(x0) - s.Eval(x0)
+		if d0 <= 0 && x0 > 0 {
+			return x0
+		}
+		ra := a.rateAt(x0)
+		rs := s.rateAt(x0)
+		if rs > ra && d0 > 0 {
+			xc := x0 + d0/(rs-ra)
+			if xc < x1 || math.IsInf(x1, 1) {
+				return xc
+			}
+		}
+	}
+	return math.Inf(1)
+}
+
+// timeToReach returns the earliest t with c(t) >= y (Inf if never).
+func timeToReach(c Curve, y float64) float64 {
+	if y <= 0 {
+		return 0
+	}
+	for i, seg := range c.segs {
+		endX := math.Inf(1)
+		if i+1 < len(c.segs) {
+			endX = c.segs[i+1].X
+		}
+		endY := math.Inf(1)
+		if !math.IsInf(endX, 1) {
+			endY = seg.Y + seg.Rate*(endX-seg.X)
+		} else if seg.Rate > 0 {
+			endY = math.Inf(1)
+		} else {
+			endY = seg.Y
+		}
+		if y <= endY {
+			if seg.Rate == 0 {
+				if y <= seg.Y {
+					return seg.X
+				}
+				continue
+			}
+			t := seg.X + (y-seg.Y)/seg.Rate
+			if t < seg.X {
+				t = seg.X
+			}
+			return t
+		}
+	}
+	return math.Inf(1)
+}
+
+// timeWhenArrived returns the latest t with c(t) <= y, i.e. the moment
+// the arrival curve last sat at height y; used to measure horizontal
+// deviation back from a service-curve breakpoint. For a curve that
+// jumps above y at t=0 it returns 0.
+func timeWhenArrived(c Curve, y float64) float64 {
+	if len(c.segs) == 0 {
+		return 0
+	}
+	if c.Eval(0) >= y {
+		return 0
+	}
+	t := timeToReach(c, y)
+	if math.IsInf(t, 1) {
+		return 0
+	}
+	return t
+}
+
+func sortedFloats(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	copy(out, xs)
+	// insertion sort: slices here are tiny (a handful of breakpoints).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package netcal
+
+import "math"
+
+// This file implements min-plus convolution of service curves — the
+// network-calculus tool for composing hops into an end-to-end service
+// curve. Silo's placement deliberately does NOT use it (per-hop queue
+// capacities compose under churn, §4.2.3), but the library provides it
+// for analysis and for the ablation comparing Silo's additive per-hop
+// delay budget against the tighter end-to-end bound ("pay bursts only
+// once").
+
+// Convolve returns the min-plus convolution (f ⊗ g)(t) = inf_{0<=s<=t}
+// f(s) + g(t−s) for concave/convex piecewise-linear curves as used
+// here. For the rate-latency service curves β_{R,T} this reduces to
+// β_{min(R1,R2), T1+T2}; the general implementation below handles any
+// pair of curves built by this package by merging their segment rates
+// in increasing-rate order (the standard result for convex functions;
+// for the convex service curves used here it is exact).
+func Convolve(f, g Curve) Curve {
+	if len(f.segs) == 0 {
+		return g
+	}
+	if len(g.segs) == 0 {
+		return f
+	}
+	// Latency (horizontal offset before the curve leaves zero) adds.
+	lf, vf := latencyOf(f)
+	lg, vg := latencyOf(g)
+	// Collect the linear pieces (rate, length) past the latency of
+	// each curve and merge them by increasing rate: the convolution of
+	// convex curves concatenates their pieces sorted by slope.
+	pieces := append(piecesOf(f), piecesOf(g)...)
+	sortPieces(pieces)
+
+	segs := []Segment{}
+	t := lf + lg
+	y := vf + vg
+	if t > 0 {
+		segs = append(segs, Segment{X: 0, Y: 0, Rate: 0})
+	}
+	for _, p := range pieces {
+		segs = append(segs, Segment{X: t, Y: y, Rate: p.rate})
+		if math.IsInf(p.length, 1) {
+			t = math.Inf(1)
+			break
+		}
+		t += p.length
+		y += p.rate * p.length
+	}
+	if len(segs) == 0 {
+		segs = append(segs, Segment{X: 0, Y: y, Rate: 0})
+	}
+	return Curve{segs: normalize(segs)}
+}
+
+// latencyOf returns the largest T with c(T) == c(0) (the service
+// latency) and the value there.
+func latencyOf(c Curve) (float64, float64) {
+	if len(c.segs) == 0 {
+		return 0, 0
+	}
+	v0 := c.Eval(0)
+	t := 0.0
+	for i, s := range c.segs {
+		if s.Rate > 0 {
+			return s.X, v0
+		}
+		if i+1 < len(c.segs) {
+			t = c.segs[i+1].X
+		}
+	}
+	return t, v0
+}
+
+type piece struct {
+	rate   float64
+	length float64 // seconds; +Inf for the final piece
+}
+
+// piecesOf lists the positive-rate linear pieces of a curve in order.
+func piecesOf(c Curve) []piece {
+	var out []piece
+	for i, s := range c.segs {
+		if s.Rate <= 0 {
+			continue
+		}
+		length := math.Inf(1)
+		if i+1 < len(c.segs) {
+			length = c.segs[i+1].X - s.X
+		}
+		out = append(out, piece{rate: s.Rate, length: length})
+	}
+	return out
+}
+
+func sortPieces(ps []piece) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].rate < ps[j-1].rate; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+// EndToEndDelayBound returns the worst-case delay for arrival curve a
+// through the given per-hop service curves, using the convolved
+// end-to-end service curve ("pay bursts only once"). It is never
+// larger than the sum of per-hop bounds Silo's placement budget uses.
+func EndToEndDelayBound(a Curve, hops ...Curve) float64 {
+	if len(hops) == 0 {
+		return 0
+	}
+	e2e := hops[0]
+	for _, h := range hops[1:] {
+		e2e = Convolve(e2e, h)
+	}
+	return QueueBound(a, e2e)
+}
+
+// PerHopDelayBoundSum returns the additive per-hop delay bound: at
+// each hop the arrival curve is propagated (burst inflated by the
+// hop's busy period) and the hop's queue bound added. This is the
+// composable budget Silo's placement reasons with.
+func PerHopDelayBoundSum(a Curve, hops ...Curve) float64 {
+	total := 0.0
+	cur := a
+	for _, h := range hops {
+		b := QueueBound(cur, h)
+		if math.IsInf(b, 1) {
+			return b
+		}
+		total += b
+		p := BusyPeriod(cur, h)
+		if math.IsInf(p, 1) {
+			return math.Inf(1)
+		}
+		cur = Propagate(cur, p, 0, 0)
+	}
+	return total
+}

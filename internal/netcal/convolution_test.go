@@ -1,0 +1,123 @@
+package netcal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConvolveRateLatency(t *testing.T) {
+	// β_{R1,T1} ⊗ β_{R2,T2} = β_{min(R1,R2), T1+T2}.
+	a := NewRateLatency(1000, 0.1)
+	b := NewRateLatency(600, 0.3)
+	c := Convolve(a, b)
+	want := NewRateLatency(600, 0.4)
+	for _, x := range []float64{0, 0.2, 0.4, 0.5, 1, 5} {
+		if !almostEq(c.Eval(x), want.Eval(x)) {
+			t.Errorf("conv(%v) = %v, want %v", x, c.Eval(x), want.Eval(x))
+		}
+	}
+}
+
+func TestConvolvePureRates(t *testing.T) {
+	a := NewRateLatency(1000, 0)
+	b := NewRateLatency(400, 0)
+	c := Convolve(a, b)
+	if got := c.LongTermRate(); !almostEq(got, 400) {
+		t.Errorf("long-term rate = %v, want 400 (min)", got)
+	}
+	if got := c.Eval(1); !almostEq(got, 400) {
+		t.Errorf("conv(1) = %v", got)
+	}
+}
+
+func TestConvolveIdentityWithZero(t *testing.T) {
+	a := NewRateLatency(100, 0.5)
+	if got := Convolve(a, Curve{}); !almostEq(got.Eval(1), a.Eval(1)) {
+		t.Error("convolve with zero curve should return the other")
+	}
+	if got := Convolve(Curve{}, a); !almostEq(got.Eval(1), a.Eval(1)) {
+		t.Error("convolve with zero curve should return the other")
+	}
+}
+
+func TestConvolveCommutativeProperty(t *testing.T) {
+	f := func(r1, r2 uint16, l1, l2 uint8) bool {
+		a := NewRateLatency(float64(r1)+1, float64(l1)/100)
+		b := NewRateLatency(float64(r2)+1, float64(l2)/100)
+		ab := Convolve(a, b)
+		ba := Convolve(b, a)
+		for _, x := range []float64{0, 0.5, 1, 3, 10} {
+			if !almostEq(ab.Eval(x), ba.Eval(x)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEndToEndDelayBoundSingleHop(t *testing.T) {
+	a := NewTokenBucket(500, 1000)
+	s := NewRateLatency(1000, 0)
+	if got, want := EndToEndDelayBound(a, s), QueueBound(a, s); !almostEq(got, want) {
+		t.Errorf("single hop = %v, want %v", got, want)
+	}
+	if EndToEndDelayBound(a) != 0 {
+		t.Error("no hops should bound at 0")
+	}
+}
+
+func TestPayBurstsOnlyOnce(t *testing.T) {
+	// The classic result: through two identical hops, the end-to-end
+	// (convolved) bound pays the burst once; the per-hop sum pays it
+	// at every hop (with inflation), so conv <= sum, strictly for
+	// bursty arrivals.
+	a := NewTokenBucket(400, 2000)
+	h1 := NewRateLatency(1000, 0)
+	h2 := NewRateLatency(1000, 0)
+	conv := EndToEndDelayBound(a, h1, h2)
+	sum := PerHopDelayBoundSum(a, h1, h2)
+	if conv > sum+1e-12 {
+		t.Errorf("convolved bound %v exceeds per-hop sum %v", conv, sum)
+	}
+	if !(conv < sum) {
+		t.Errorf("expected strict tightening: conv %v vs sum %v", conv, sum)
+	}
+	// Single-hop delay = 2 s (2000/1000); e2e through two pure-rate
+	// hops stays 2 s.
+	if !almostEq(conv, 2.0) {
+		t.Errorf("conv bound = %v, want 2.0", conv)
+	}
+}
+
+// Property: the convolved end-to-end bound never exceeds the per-hop
+// sum (the ablation justifying why Silo's additive budget is safe).
+func TestConvTighterProperty(t *testing.T) {
+	f := func(rate, burst uint16, c1, c2 uint16) bool {
+		r := float64(rate) + 1
+		b := float64(burst) + 1
+		a := NewTokenBucket(r, b)
+		h1 := NewRateLatency(r+float64(c1)+1, 0)
+		h2 := NewRateLatency(r+float64(c2)+1, 0)
+		conv := EndToEndDelayBound(a, h1, h2)
+		sum := PerHopDelayBoundSum(a, h1, h2)
+		if math.IsInf(sum, 1) {
+			return true
+		}
+		return conv <= sum+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerHopSumOverloaded(t *testing.T) {
+	a := NewTokenBucket(2000, 10)
+	h := NewRateLatency(1000, 0)
+	if !math.IsInf(PerHopDelayBoundSum(a, h), 1) {
+		t.Error("overloaded hop should report +Inf")
+	}
+}

@@ -1,0 +1,82 @@
+package netcal
+
+// This file holds the Silo-specific curve constructions of paper
+// §4.2.2: hose-model aggregation of same-tenant sources and
+// propagation of an arrival curve through a switch port.
+
+// HoseAggregate returns the arrival curve for the traffic of m VMs of
+// an N-VM tenant crossing a link in one direction, where each VM is
+// individually bounded by A_{rate, burst} and bursts at up to peak.
+//
+// The hose model destination-limits bandwidth: the tenant's total
+// sustained rate across the cut is min(m, N−m)·rate, because the
+// receiving side has only N−m sinks each accepting at most `rate`.
+// Bursts, by contrast, are NOT destination limited (§4.1: all N VMs
+// may burst simultaneously to one destination — the OLDI
+// partition/aggregate pattern), so the aggregate burst is m·burst and
+// the aggregate peak is m·peak.
+//
+// mtu seeds the instantaneous wire burst per VM (one packet in flight
+// back-to-back); pass 0 to model ideal fluid sources.
+func HoseAggregate(m, n int, rate, burst, peak, mtu float64) Curve {
+	if m <= 0 || n <= 0 {
+		return Curve{}
+	}
+	other := n - m
+	if other < 0 {
+		other = 0
+	}
+	sustained := rate * float64(minInt(m, other))
+	if other == 0 {
+		// Degenerate cut: all VMs on one side. No intra-tenant traffic
+		// crosses, but callers normally avoid this.
+		sustained = 0
+	}
+	totalBurst := burst * float64(m)
+	totalPeak := peak * float64(m)
+	seed := mtu * float64(m)
+	if totalPeak <= 0 {
+		return NewTokenBucket(sustained, totalBurst)
+	}
+	return NewRateCapped(sustained, totalBurst, totalPeak, seed)
+}
+
+// PlainAggregate is the non-hose sum m·A_{rate,burst}: both rate and
+// burst scale with m. It exists for the ablation benchmark comparing
+// Silo's tightened curve against naive addition.
+func PlainAggregate(m int, rate, burst, peak, mtu float64) Curve {
+	if m <= 0 {
+		return Curve{}
+	}
+	if peak <= 0 {
+		return NewTokenBucket(rate*float64(m), burst*float64(m))
+	}
+	return NewRateCapped(rate*float64(m), burst*float64(m), peak*float64(m), mtu*float64(m))
+}
+
+// Propagate returns the arrival curve of traffic after it egresses a
+// switch port with queue capacity c seconds (paper §4.2.2,
+// "Propagating arrival curves"). A port can bunch every byte that
+// arrives within the interval over which its queue empties; Silo uses
+// the port's queue capacity as a competing-traffic-independent bound on
+// that interval. An ingress A_{B,S} therefore egresses as
+// A_{B, B·c+S}: the sustained rate is unchanged, the burst inflates by
+// B·c.
+//
+// The egress peak rate is the port's line rate: a queue drains
+// back-to-back at wire speed. linerate <= 0 leaves the curve uncapped.
+func Propagate(in Curve, c, linerate, mtu float64) Curve {
+	rate := in.LongTermRate()
+	burst := in.Eval(c) // bytes that can arrive within [0, c] — B·c + S for a token bucket
+	if linerate <= 0 {
+		return NewTokenBucket(rate, burst)
+	}
+	return NewRateCapped(rate, burst, linerate, mtu)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

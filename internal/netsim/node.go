@@ -1,0 +1,177 @@
+package netsim
+
+import (
+	"repro/internal/pacer"
+)
+
+// Switch is a store-and-forward switch. It drops void frames (it is
+// always the first switch a void reaches, since voids are synthesized
+// at host NICs) and forwards everything else via its routing function.
+type Switch struct {
+	Name string
+	// Route returns the output queue toward a destination host.
+	Route func(dstHost int) *Queue
+	// Stats counts void drops at this switch.
+	Stats Counters
+}
+
+// Receive implements Receiver.
+func (sw *Switch) Receive(p *Packet) {
+	if p.Void {
+		sw.Stats.VoidDropped++
+		return
+	}
+	q := sw.Route(p.Dst)
+	if q == nil {
+		return // destination unreachable; drop silently
+	}
+	q.Enqueue(p)
+}
+
+// Host is a server endpoint. Egress goes either directly to the NIC
+// queue (baseline transports) or through a Silo host pacer that
+// timestamps packets and emits void-padded batches.
+type Host struct {
+	ID  int
+	sim *Sim
+	// NIC is the egress port toward the ToR.
+	NIC *Queue
+	// Deliver is the upcall for packets addressed to this host.
+	Deliver func(p *Packet)
+
+	// Pacing state (nil for unpaced hosts).
+	pacer       *pacer.HostPacer
+	vms         map[int]*pacer.VM
+	loopRunning bool
+	// parkedAt is the future wake time when the loop sleeps on a
+	// future release stamp (0 while actively batching); loopGen
+	// invalidates stale wake events when an earlier-release packet
+	// re-arms the loop.
+	parkedAt int64
+	loopGen  uint64
+}
+
+// NewHost returns a host bound to sim; NIC must be attached before
+// sending.
+func NewHost(sim *Sim, id int) *Host {
+	return &Host{ID: id, sim: sim, vms: make(map[int]*pacer.VM)}
+}
+
+// Receive implements Receiver (ingress from the ToR).
+func (h *Host) Receive(p *Packet) {
+	if p.Void {
+		// Voids should have been dropped upstream; tolerate anyway.
+		return
+	}
+	if h.Deliver != nil {
+		h.Deliver(p)
+	}
+}
+
+// Send transmits a packet directly through the NIC (no pacing).
+func (h *Host) Send(p *Packet) {
+	p.SentAt = h.sim.Now()
+	h.NIC.Enqueue(p)
+}
+
+// EnablePacing installs a Silo host pacer on the NIC.
+func (h *Host) EnablePacing(batcher *pacer.Batcher) {
+	h.pacer = pacer.NewHostPacer(batcher)
+}
+
+// Paced reports whether the host has a pacer installed.
+func (h *Host) Paced() bool { return h.pacer != nil }
+
+// AddVM registers a paced VM (its guarantees configured by the
+// caller) on this host.
+func (h *Host) AddVM(vm *pacer.VM) {
+	h.pacer.AddVM(vm)
+	h.vms[vm.ID] = vm
+}
+
+// VM returns the pacer state for a VM id.
+func (h *Host) VM(id int) (*pacer.VM, bool) {
+	vm, ok := h.vms[id]
+	return vm, ok
+}
+
+// SendPaced submits a packet to the VM's token-bucket chain; the
+// batch loop lays it on the wire at its release stamp.
+func (h *Host) SendPaced(vmID int, p *Packet) {
+	vm, ok := h.vms[vmID]
+	if !ok || h.pacer == nil {
+		h.Send(p)
+		return
+	}
+	vm.Enqueue(h.sim.Now(), p.DstVM, p.Size, p)
+	due, _ := vm.NextEventTime()
+	switch {
+	case !h.loopRunning:
+		h.loopRunning = true
+		h.armLoop(h.sim.Now())
+	case h.parkedAt > 0 && due < h.parkedAt:
+		// The loop sleeps until a future stamp, but this packet is due
+		// earlier: re-arm, invalidating the stale wake. Missing this
+		// would batch the interim backlog as one line-rate train and
+		// destroy pacing.
+		h.armLoop(due)
+	}
+}
+
+// armLoop schedules the batch loop at time t under a fresh generation.
+func (h *Host) armLoop(t int64) {
+	h.loopGen++
+	h.parkedAt = t
+	if now := h.sim.Now(); t < now {
+		h.parkedAt = now
+	}
+	gen := h.loopGen
+	h.sim.At(t, func() {
+		if h.loopGen != gen {
+			return // superseded by an earlier re-arm
+		}
+		h.batchLoop()
+	})
+}
+
+// batchLoop emulates the paper's soft-timer scheduling: build a batch,
+// inject its frames at their wire times, and re-arm at batch end (the
+// DMA-completion interrupt). When the pacer runs dry the loop parks
+// until the next SendPaced.
+func (h *Host) batchLoop() {
+	h.parkedAt = 0
+	batch := h.pacer.NextBatch(h.sim.Now())
+	if batch == nil {
+		// Nothing eligible now. If packets exist with future stamps,
+		// re-arm at the earliest one; else park.
+		earliest := int64(-1)
+		for _, vm := range h.pacer.VMs() {
+			if r, ok := vm.NextEventTime(); ok && (earliest < 0 || r < earliest) {
+				earliest = r
+			}
+		}
+		if earliest < 0 {
+			h.loopRunning = false
+			return
+		}
+		h.armLoop(earliest)
+		return
+	}
+	for _, fp := range batch.Packets {
+		fp := fp
+		h.sim.At(fp.Wire, func() {
+			if fp.Void {
+				h.NIC.Enqueue(&Packet{
+					Src: h.ID, Dst: -1, Size: fp.Bytes, Void: true,
+					SentAt: h.sim.Now(),
+				})
+				return
+			}
+			np := fp.Ref.(*Packet)
+			np.SentAt = h.sim.Now()
+			np.PacedRelease = fp.Release
+			h.NIC.Enqueue(np)
+		})
+	}
+	h.sim.At(batch.End, h.batchLoop)
+}

@@ -1,0 +1,153 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/pacer"
+	"repro/internal/topology"
+)
+
+// Regression tests for host-pacer scheduling bugs found while
+// reproducing the paper's shuffle workloads.
+
+// TestParkedLoopWakesForEarlierRelease reproduces the parked-wake
+// race: the batch loop sleeps until a future release stamp, then a
+// packet with an earlier stamp arrives. The loop must wake for it;
+// otherwise the interim backlog is emitted as one line-rate train.
+func TestParkedLoopWakesForEarlierRelease(t *testing.T) {
+	tree, err := topology.New(topology.Config{
+		Pods: 1, RacksPerPod: 1, ServersPerRack: 2, SlotsPerServer: 4,
+		LinkBps: 10 * gbps, BufferBytes: 312e3, NICBufferBytes: 62.5e3,
+		RackOversub: 1, PodOversub: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := Build(NewSim(), tree, Options{PropNs: 200})
+	h := nw.Hosts[0]
+	h.EnablePacing(pacer.NewBatcher(10 * gbps))
+	// Two VMs: slowVM's bucket forces a far-future stamp; fastVM can
+	// send immediately.
+	slow := pacer.NewVM(1, pacer.Guarantee{BandwidthBps: 1e6, BurstBytes: 1500, MTUBytes: 1500}, 0)
+	fast := pacer.NewVM(2, pacer.Guarantee{BandwidthBps: 1 * gbps, BurstBytes: 15e3, BurstRateBps: 10 * gbps, MTUBytes: 1500}, 0)
+	h.AddVM(slow)
+	h.AddVM(fast)
+
+	var arrivals []int64
+	var arrivalVM []int
+	nw.Hosts[1].Deliver = func(p *Packet) {
+		arrivals = append(arrivals, nw.Sim.Now())
+		arrivalVM = append(arrivalVM, p.SrcVM)
+	}
+
+	// slowVM sends two packets: the first goes immediately, the second
+	// waits 1500B/1MBps = 1.5 ms. The loop will park on that stamp.
+	h.SendPaced(1, &Packet{Src: 0, Dst: 1, SrcVM: 1, DstVM: 9, Size: 1500})
+	h.SendPaced(1, &Packet{Src: 0, Dst: 1, SrcVM: 1, DstVM: 9, Size: 1500})
+	// Let the loop run and park.
+	nw.Sim.Run(200_000)
+	// Now fastVM's packets arrive with immediate stamps: they must go
+	// out right away, not at the 1.5 ms wake.
+	for i := 0; i < 5; i++ {
+		h.SendPaced(2, &Packet{Src: 0, Dst: 1, SrcVM: 2, DstVM: 9, Size: 1500})
+	}
+	nw.Sim.Run(10_000_000)
+
+	if len(arrivals) != 7 {
+		t.Fatalf("delivered %d of 7", len(arrivals))
+	}
+	// The five fast packets must arrive near 200 µs, far before the
+	// slow VM's 1.5 ms stamp.
+	fastCount := 0
+	for i, vm := range arrivalVM {
+		if vm == 2 {
+			fastCount++
+			if arrivals[i] > 1_000_000 {
+				t.Errorf("fast packet delivered at %d ns; parked loop missed the earlier release", arrivals[i])
+			}
+		}
+	}
+	if fastCount != 5 {
+		t.Errorf("fast packets delivered = %d", fastCount)
+	}
+}
+
+// TestPacedBacklogNeverBurstsAtLineRate is the end-to-end regression
+// for the joint-conformance bug: two paced hosts sending to one
+// receiver through exactly-sized buffers must never overflow them,
+// even across message boundaries and cwnd-scale injections.
+func TestPacedBacklogNeverBurstsAtLineRate(t *testing.T) {
+	tree, err := topology.New(topology.Config{
+		Pods: 1, RacksPerPod: 1, ServersPerRack: 3, SlotsPerServer: 4,
+		LinkBps: 10 * gbps, BufferBytes: 100e3, NICBufferBytes: 62.5e3,
+		RackOversub: 1, PodOversub: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := Build(NewSim(), tree, Options{PropNs: 200})
+	for i, hid := range []int{0, 2} {
+		h := nw.Hosts[hid]
+		h.EnablePacing(pacer.NewBatcher(10 * gbps))
+		vm := pacer.NewVM(100+i, pacer.Guarantee{
+			BandwidthBps: 2 * gbps, BurstBytes: 3000, BurstRateBps: 10 * gbps, MTUBytes: 1518,
+		}, 0)
+		// Two destinations each at half the hose.
+		vm.SetDestRate(0, 500, 1*gbps)
+		vm.SetDestRate(0, 501, 1*gbps)
+		h.AddVM(vm)
+	}
+	// Inject alternating bursts to the two destinations: dest 500
+	// first (deferred backlog), then dest 501. Every frame lands on
+	// host 1.
+	for i := 0; i < 400; i++ {
+		nw.Hosts[0].SendPaced(100, &Packet{Src: 0, Dst: 1, SrcVM: 100, DstVM: 500, Size: 1518})
+		nw.Hosts[2].SendPaced(101, &Packet{Src: 2, Dst: 1, SrcVM: 101, DstVM: 500, Size: 1518})
+	}
+	nw.Sim.Run(1_000_000)
+	for i := 0; i < 400; i++ {
+		nw.Hosts[0].SendPaced(100, &Packet{Src: 0, Dst: 1, SrcVM: 100, DstVM: 501, Size: 1518})
+		nw.Hosts[2].SendPaced(101, &Packet{Src: 2, Dst: 1, SrcVM: 101, DstVM: 501, Size: 1518})
+	}
+	nw.Sim.Run(60_000_000_000)
+	if drops := nw.TotalDrops(); drops != 0 {
+		t.Errorf("conformant paced traffic dropped %d packets through 100 KB buffers", drops)
+	}
+}
+
+// TestPacingErrorBounded verifies the end-to-end pacing precision the
+// paper claims: data frames leave the NIC within ~one void slot of
+// their stamps plus at most one batch of scheduling slack.
+func TestPacingErrorBounded(t *testing.T) {
+	tree, err := topology.New(topology.Config{
+		Pods: 1, RacksPerPod: 1, ServersPerRack: 2, SlotsPerServer: 4,
+		LinkBps: 10 * gbps, BufferBytes: 312e3, NICBufferBytes: 62.5e3,
+		RackOversub: 1, PodOversub: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := Build(NewSim(), tree, Options{PropNs: 200})
+	h := nw.Hosts[0]
+	h.EnablePacing(pacer.NewBatcher(10 * gbps))
+	vm := pacer.NewVM(1, pacer.Guarantee{
+		BandwidthBps: 3 * gbps, BurstBytes: 3000, BurstRateBps: 10 * gbps, MTUBytes: 1518,
+	}, 0)
+	h.AddVM(vm)
+	var worst int64
+	nw.Hosts[1].Deliver = func(p *Packet) {
+		if p.PacedRelease > 0 {
+			if e := p.SentAt - p.PacedRelease; e > worst {
+				worst = e
+			}
+		}
+	}
+	for i := 0; i < 500; i++ {
+		h.SendPaced(1, &Packet{Src: 0, Dst: 1, SrcVM: 1, DstVM: 9, Size: 1518})
+	}
+	nw.Sim.Run(10_000_000_000)
+	// One 50 µs batch of scheduling slack plus serialization jitter.
+	if worst > 60_000 {
+		t.Errorf("worst pacing error %d ns, want <= 60 µs", worst)
+	}
+}

@@ -1,0 +1,46 @@
+package netsim
+
+// Priority classes (802.1q mapping, paper §4.4): guaranteed tenants
+// ride high priority, best-effort tenants low.
+const (
+	PrioGuaranteed = 0
+	PrioBestEffort = 1
+	numPrios       = 2
+)
+
+// Packet is one frame in flight.
+type Packet struct {
+	ID uint64
+	// Src and Dst are host IDs; SrcVM and DstVM identify the endpoints
+	// for transport demux and hose accounting.
+	Src, Dst     int
+	SrcVM, DstVM int
+	// Size is the wire size in bytes (headers included).
+	Size int
+	// Prio selects the 802.1q class.
+	Prio int
+	// Void marks a pacer spacer frame; the first switch drops it.
+	Void bool
+	// ECNCapable marks ECT packets (DCTCP/HULL); CE is the congestion
+	// mark set by switches.
+	ECNCapable, CE bool
+	// SentAt is the time the first byte left the source NIC queue
+	// entry point (set by Host.inject); used for NIC-to-NIC delay.
+	SentAt int64
+	// PacedRelease is the pacer's release stamp for paced packets
+	// (0 for unpaced); SentAt − PacedRelease is the pacing error.
+	PacedRelease int64
+	// Payload carries the transport segment.
+	Payload interface{}
+}
+
+// Counters aggregates per-queue statistics.
+type Counters struct {
+	EnqueuedPkts int64
+	SentPkts     int64
+	SentBytes    int64
+	DroppedPkts  int64
+	DroppedBytes int64
+	ECNMarked    int64
+	VoidDropped  int64
+}

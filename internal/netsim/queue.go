@@ -1,0 +1,159 @@
+package netsim
+
+import "math"
+
+// Receiver consumes packets after link propagation.
+type Receiver interface {
+	Receive(p *Packet)
+}
+
+// Queue is one output-queued port: a finite buffer drained at a line
+// rate onto a link with fixed propagation delay, feeding the next
+// node. Two strict-priority FIFOs implement the 802.1q classes; the
+// buffer is shared.
+type Queue struct {
+	sim *Sim
+	// Name identifies the port in traces.
+	Name string
+	// RateBps is the drain rate in bytes/sec.
+	RateBps float64
+	// BufferBytes is the shared buffer; a packet that does not fit is
+	// dropped.
+	BufferBytes int
+	// PropNs is the link propagation delay to the next node.
+	PropNs int64
+	// ECNThresholdBytes, if > 0, sets CE on ECN-capable packets when
+	// the instantaneous queue exceeds it (DCTCP-style marking).
+	ECNThresholdBytes int
+	// Phantom, if non-nil, implements HULL's phantom queue: a virtual
+	// counter drained at a fraction of line rate whose occupancy
+	// drives marking, keeping real queues near-empty.
+	Phantom *PhantomQueue
+	// Next receives packets PropNs after serialization completes.
+	Next Receiver
+	// Stats accumulates counters.
+	Stats Counters
+	// OnEnqueue, if set, observes every arrival (instrumentation).
+	OnEnqueue func(p *Packet, occupied int)
+
+	fifos    [numPrios][]*Packet
+	occupied int
+	busy     bool
+}
+
+// NewQueue returns a port attached to sim.
+func NewQueue(sim *Sim, name string, rateBps float64, bufBytes int, propNs int64, next Receiver) *Queue {
+	return &Queue{sim: sim, Name: name, RateBps: rateBps, BufferBytes: bufBytes, PropNs: propNs, Next: next}
+}
+
+// Occupied reports buffered bytes.
+func (q *Queue) Occupied() int { return q.occupied }
+
+// QueueDelayNs estimates the queuing delay a newly arrived packet
+// would see: occupancy divided by rate.
+func (q *Queue) QueueDelayNs() int64 {
+	return int64(float64(q.occupied) / q.RateBps * 1e9)
+}
+
+// Enqueue admits a packet to the port.
+func (q *Queue) Enqueue(p *Packet) {
+	q.Stats.EnqueuedPkts++
+	if q.OnEnqueue != nil {
+		q.OnEnqueue(p, q.occupied)
+	}
+	if q.Phantom != nil {
+		if q.Phantom.Mark(q.sim.Now(), p.Size) && p.ECNCapable {
+			p.CE = true
+			q.Stats.ECNMarked++
+		}
+	} else if q.ECNThresholdBytes > 0 && p.ECNCapable && q.occupied >= q.ECNThresholdBytes {
+		p.CE = true
+		q.Stats.ECNMarked++
+	}
+	if q.occupied+p.Size > q.BufferBytes {
+		q.Stats.DroppedPkts++
+		q.Stats.DroppedBytes += int64(p.Size)
+		return
+	}
+	prio := p.Prio
+	if prio < 0 || prio >= numPrios {
+		prio = numPrios - 1
+	}
+	q.fifos[prio] = append(q.fifos[prio], p)
+	q.occupied += p.Size
+	if !q.busy {
+		q.transmitNext()
+	}
+}
+
+// transmitNext starts serializing the head-of-line packet of the
+// highest non-empty priority.
+func (q *Queue) transmitNext() {
+	var p *Packet
+	for prio := 0; prio < numPrios; prio++ {
+		if len(q.fifos[prio]) > 0 {
+			p = q.fifos[prio][0]
+			q.fifos[prio] = q.fifos[prio][1:]
+			break
+		}
+	}
+	if p == nil {
+		q.busy = false
+		return
+	}
+	q.busy = true
+	serNs := int64(math.Round(float64(p.Size) / q.RateBps * 1e9))
+	q.sim.After(serNs, func() {
+		q.occupied -= p.Size
+		q.Stats.SentPkts++
+		q.Stats.SentBytes += int64(p.Size)
+		next := q.Next
+		prop := q.PropNs
+		q.sim.After(prop, func() { next.Receive(p) })
+		q.transmitNext()
+	})
+}
+
+// PhantomQueue is HULL's virtual queue: it counts bytes as if drained
+// at gamma × line rate and requests marking when the virtual backlog
+// exceeds the threshold. It never holds real packets.
+type PhantomQueue struct {
+	// DrainBps is gamma × line rate (HULL uses gamma ≈ 0.95).
+	DrainBps float64
+	// MarkThresholdBytes triggers CE marks.
+	MarkThresholdBytes float64
+
+	backlog float64
+	last    int64
+}
+
+// NewPhantomQueue returns a phantom queue.
+func NewPhantomQueue(drainBps, thresholdBytes float64) *PhantomQueue {
+	return &PhantomQueue{DrainBps: drainBps, MarkThresholdBytes: thresholdBytes}
+}
+
+// Mark accounts n bytes arriving at time now and reports whether the
+// packet should be CE-marked.
+func (pq *PhantomQueue) Mark(now int64, n int) bool {
+	if now > pq.last {
+		pq.backlog -= pq.DrainBps * float64(now-pq.last) / 1e9
+		if pq.backlog < 0 {
+			pq.backlog = 0
+		}
+		pq.last = now
+	}
+	pq.backlog += float64(n)
+	return pq.backlog > pq.MarkThresholdBytes
+}
+
+// Backlog reports the current virtual backlog in bytes.
+func (pq *PhantomQueue) Backlog(now int64) float64 {
+	b := pq.backlog
+	if now > pq.last {
+		b -= pq.DrainBps * float64(now-pq.last) / 1e9
+		if b < 0 {
+			b = 0
+		}
+	}
+	return b
+}

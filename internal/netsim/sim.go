@@ -1,0 +1,90 @@
+// Package netsim is a discrete-event, packet-level datacenter network
+// simulator. It stands in for the paper's hardware testbed (§6.1) and
+// ns2 simulations (§6.2): output-queued switches with finite per-port
+// buffers, two 802.1q priority classes, ECN marking (for DCTCP),
+// phantom queues (for HULL), store-and-forward links with propagation
+// delay, and hosts whose NICs either transmit directly or through
+// Silo's paced-IO-batching pacer with void packets.
+//
+// Void frames (MAC src == dst) are dropped by the first switch they
+// traverse, exactly as in the paper; they consume wire time on the
+// host→ToR link and nothing else.
+//
+// Time is int64 nanoseconds.
+package netsim
+
+import "container/heap"
+
+// Sim is the event loop.
+type Sim struct {
+	now    int64
+	events eventHeap
+	seq    uint64
+}
+
+// NewSim returns an empty simulator at time 0.
+func NewSim() *Sim { return &Sim{} }
+
+// Now returns the current simulation time in ns.
+func (s *Sim) Now() int64 { return s.now }
+
+// At schedules fn at absolute time t (clamped to now).
+func (s *Sim) At(t int64, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	heap.Push(&s.events, &event{t: t, seq: s.seq, fn: fn})
+	s.seq++
+}
+
+// After schedules fn after d nanoseconds.
+func (s *Sim) After(d int64, fn func()) { s.At(s.now+d, fn) }
+
+// Run executes events until the queue drains or the clock passes
+// until. Returns the number of events executed.
+func (s *Sim) Run(until int64) int {
+	n := 0
+	for s.events.Len() > 0 {
+		ev := s.events[0]
+		if ev.t > until {
+			break
+		}
+		heap.Pop(&s.events)
+		s.now = ev.t
+		ev.fn()
+		n++
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return n
+}
+
+// Pending reports queued events.
+func (s *Sim) Pending() int { return s.events.Len() }
+
+type event struct {
+	t   int64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

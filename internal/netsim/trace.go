@@ -1,0 +1,108 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// HopEvent records one packet arrival at a directed port.
+type HopEvent struct {
+	// PortID is the topology port the packet was enqueued at.
+	PortID int
+	// At is the arrival time in ns.
+	At int64
+	// OccupiedBytes is the queue occupancy the packet found (its
+	// queuing delay is OccupiedBytes / port rate).
+	OccupiedBytes int
+}
+
+// Tracer records the hop-by-hop path of selected packets. It attaches
+// to every queue's OnEnqueue hook; use it in tests and debugging, not
+// on multi-second simulations of full meshes (every match allocates).
+type Tracer struct {
+	nw     *Network
+	filter func(*Packet) bool
+	hops   map[uint64][]HopEvent
+	prev   []func(*Packet, int)
+}
+
+// AttachTracer installs a tracer on all of a network's queues. filter
+// selects which packets to record (nil records every non-void
+// packet). Detach restores any previously installed hooks.
+func AttachTracer(nw *Network, filter func(*Packet) bool) *Tracer {
+	t := &Tracer{
+		nw:     nw,
+		filter: filter,
+		hops:   make(map[uint64][]HopEvent),
+		prev:   make([]func(*Packet, int), len(nw.Queues)),
+	}
+	for pid, q := range nw.Queues {
+		pid, q := pid, q
+		t.prev[pid] = q.OnEnqueue
+		prev := q.OnEnqueue
+		q.OnEnqueue = func(p *Packet, occ int) {
+			if prev != nil {
+				prev(p, occ)
+			}
+			if p.Void {
+				return
+			}
+			if t.filter != nil && !t.filter(p) {
+				return
+			}
+			t.hops[p.ID] = append(t.hops[p.ID], HopEvent{PortID: pid, At: nw.Sim.Now(), OccupiedBytes: occ})
+		}
+	}
+	return t
+}
+
+// Detach removes the tracer's hooks.
+func (t *Tracer) Detach() {
+	for pid, q := range t.nw.Queues {
+		q.OnEnqueue = t.prev[pid]
+	}
+}
+
+// Hops returns the recorded hop sequence for a packet ID.
+func (t *Tracer) Hops(pktID uint64) []HopEvent {
+	return t.hops[pktID]
+}
+
+// Packets returns the traced packet IDs in ascending order.
+func (t *Tracer) Packets() []uint64 {
+	ids := make([]uint64, 0, len(t.hops))
+	for id := range t.hops {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// QueuingDelayNs sums the queuing delay a packet accrued across its
+// hops (occupancy found at each port divided by the port rate).
+func (t *Tracer) QueuingDelayNs(pktID uint64) int64 {
+	var total float64
+	for _, h := range t.hops[pktID] {
+		q := t.nw.Queues[h.PortID]
+		total += float64(h.OccupiedBytes) / q.RateBps * 1e9
+	}
+	return int64(total)
+}
+
+// Render formats one packet's path for debugging.
+func (t *Tracer) Render(pktID uint64) string {
+	hops := t.hops[pktID]
+	if len(hops) == 0 {
+		return fmt.Sprintf("packet %d: no hops recorded", pktID)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "packet %d:\n", pktID)
+	for i, h := range hops {
+		q := t.nw.Queues[h.PortID]
+		fmt.Fprintf(&b, "  hop %d: %-16s t=%8dns queue=%6dB (%.1fµs)\n",
+			i, q.Name, h.At, h.OccupiedBytes,
+			float64(h.OccupiedBytes)/q.RateBps*1e6)
+	}
+	return b.String()
+}

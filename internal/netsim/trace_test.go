@@ -1,0 +1,76 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTracerRecordsPath(t *testing.T) {
+	nw := buildNet(t)
+	tr := AttachTracer(nw, nil)
+	nw.Hosts[0].Send(&Packet{ID: 42, Src: 0, Dst: 7, Size: 1500})
+	nw.Sim.Run(1e9)
+	hops := tr.Hops(42)
+	// Cross-pod: NIC, torUp, podUp, coreDown, podDown, torDown.
+	if len(hops) != 6 {
+		t.Fatalf("hops = %d, want 6\n%s", len(hops), tr.Render(42))
+	}
+	tree := nw.Tree
+	want := []int{
+		tree.ServerUpPort(0).ID, tree.RackUpPort(0).ID, tree.PodUpPort(0).ID,
+		tree.CoreDownPort(1).ID, tree.PodDownPort(tree.RackOfServer(7)).ID, tree.RackDownPort(7).ID,
+	}
+	for i, h := range hops {
+		if h.PortID != want[i] {
+			t.Errorf("hop %d port = %d, want %d", i, h.PortID, want[i])
+		}
+		if i > 0 && h.At <= hops[i-1].At {
+			t.Errorf("hop %d time not increasing", i)
+		}
+	}
+	if ids := tr.Packets(); len(ids) != 1 || ids[0] != 42 {
+		t.Errorf("Packets = %v", ids)
+	}
+	if out := tr.Render(42); !strings.Contains(out, "nic0") {
+		t.Errorf("render missing NIC hop:\n%s", out)
+	}
+}
+
+func TestTracerFilterAndDetach(t *testing.T) {
+	nw := buildNet(t)
+	tr := AttachTracer(nw, func(p *Packet) bool { return p.ID == 2 })
+	nw.Hosts[0].Send(&Packet{ID: 1, Src: 0, Dst: 1, Size: 1000})
+	nw.Hosts[0].Send(&Packet{ID: 2, Src: 0, Dst: 1, Size: 1000})
+	nw.Sim.Run(1e9)
+	if len(tr.Hops(1)) != 0 {
+		t.Error("filtered packet was traced")
+	}
+	if len(tr.Hops(2)) != 2 {
+		t.Errorf("matching packet hops = %d, want 2", len(tr.Hops(2)))
+	}
+	tr.Detach()
+	nw.Hosts[0].Send(&Packet{ID: 3, Src: 0, Dst: 1, Size: 1000})
+	nw.Sim.Run(2e9)
+	if len(tr.Hops(3)) != 0 {
+		t.Error("detached tracer still recording")
+	}
+}
+
+func TestTracerQueuingDelay(t *testing.T) {
+	nw := buildNet(t)
+	tr := AttachTracer(nw, nil)
+	// Two back-to-back packets: the second finds the first occupying
+	// the NIC queue.
+	nw.Hosts[0].Send(&Packet{ID: 1, Src: 0, Dst: 1, Size: 1500})
+	nw.Hosts[0].Send(&Packet{ID: 2, Src: 0, Dst: 1, Size: 1500})
+	nw.Sim.Run(1e9)
+	if d := tr.QueuingDelayNs(1); d != 0 {
+		t.Errorf("first packet queuing = %d, want 0", d)
+	}
+	if d := tr.QueuingDelayNs(2); d < 1000 {
+		t.Errorf("second packet queuing = %d ns, want ≈1200 (one 1500B slot)", d)
+	}
+	if out := tr.Render(99); !strings.Contains(out, "no hops") {
+		t.Error("missing-packet render wrong")
+	}
+}

@@ -1,0 +1,96 @@
+package pacer
+
+// Coordinator implements the dynamic, EyeQ-style sender/receiver rate
+// negotiation of paper §4.3: each epoch it observes which VM pairs are
+// actually exchanging traffic (queued bytes or bytes sent since the
+// last epoch), computes a max-min fair split of the hose guarantees
+// over those ACTIVE pairs, and retunes the per-destination buckets.
+// Pairs with no demand keep the full min(B_src, B_dst) rate, so a
+// fresh burst is never throttled below its entitlement while the
+// coordination loop catches up — the burst allowance absorbs the
+// transient, which is exactly its job.
+type Coordinator struct {
+	// vms maps VM id -> pacer, for one tenant.
+	vms map[int]*VM
+	// b is the tenant's per-VM hose guarantee (bytes/sec).
+	b float64
+
+	// DemandAware, when set, uses EyeQ's demand-capped max-min: each
+	// active flow's rate also freezes at its measured demand
+	// (observed rate plus backlog, times DemandHeadroom), so light
+	// flows leave their share to backlogged ones.
+	DemandAware bool
+	// DemandHeadroom multiplies measured demand (default 2: a flow may
+	// double its rate between epochs without waiting for the loop).
+	DemandHeadroom float64
+
+	lastSent  map[Flow]int64
+	lastEpoch int64
+}
+
+// NewCoordinator returns a coordinator over one tenant's paced VMs.
+// All VMs share the hose guarantee b (the paper's per-tenant B).
+func NewCoordinator(b float64, vms map[int]*VM) *Coordinator {
+	return &Coordinator{vms: vms, b: b, DemandHeadroom: 2, lastSent: make(map[Flow]int64)}
+}
+
+// Epoch runs one coordination round at time now: measure demand,
+// allocate, retune buckets. Returns the number of active flows.
+func (c *Coordinator) Epoch(now int64) int {
+	send := map[int]float64{}
+	recv := map[int]float64{}
+	var active []Flow
+	idle := map[Flow]bool{}
+	demands := map[Flow]float64{}
+	epochSec := float64(now-c.lastEpoch) / 1e9
+	c.lastEpoch = now
+
+	for id, vm := range c.vms {
+		send[id] = c.b
+		recv[id] = c.b
+		for _, dst := range vm.Destinations() {
+			if _, intra := c.vms[dst]; !intra {
+				// Traffic leaving the tenant is not hose-coordinated
+				// here (inter-tenant traffic is bounded by {B,S}).
+				continue
+			}
+			f := Flow{Src: id, Dst: dst}
+			sent := vm.SentBytesTo(dst)
+			delta := sent - c.lastSent[f]
+			c.lastSent[f] = sent
+			queued := vm.QueuedBytesTo(dst)
+			if delta > 0 || queued > 0 {
+				active = append(active, f)
+				if c.DemandAware && epochSec > 0 {
+					headroom := c.DemandHeadroom
+					if headroom <= 1 {
+						headroom = 2
+					}
+					demands[f] = headroom * float64(delta+queued) / epochSec
+				}
+			} else {
+				idle[f] = true
+			}
+		}
+	}
+
+	var rates map[Flow]float64
+	if c.DemandAware && len(demands) > 0 {
+		rates = HoseAllocateWithDemands(send, recv, demands, active)
+	} else {
+		rates = HoseAllocate(send, recv, active)
+	}
+	for f, r := range rates {
+		if vm, ok := c.vms[f.Src]; ok {
+			vm.SetDestRate(now, f.Dst, r)
+		}
+	}
+	// Idle pairs revert to the full hose entitlement so a new burst is
+	// not held to a stale share.
+	for f := range idle {
+		if vm, ok := c.vms[f.Src]; ok {
+			vm.SetDestRate(now, f.Dst, c.b)
+		}
+	}
+	return len(active)
+}

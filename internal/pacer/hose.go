@@ -1,0 +1,245 @@
+package pacer
+
+// This file implements the sender/receiver rate coordination that
+// enforces hose-model semantics (paper §4.3, Figure 8 top row): the
+// per-destination bucket rates Bi are chosen so that Σ Bi never
+// exceeds the sender VM's guarantee B, and the sum of rates of all
+// senders toward one receiver never exceeds the receiver's B. The
+// pacers "coordinate with each other like EyeQ": here the coordinator
+// is a library the hypervisor control loop (or the simulator) invokes
+// with the active communication pattern.
+
+// Flow identifies one sender→receiver pair in a coordination round.
+type Flow struct {
+	Src, Dst int
+}
+
+// HoseAllocate computes a max-min fair rate for every active flow
+// subject to per-sender and per-receiver caps (bytes/sec), via
+// progressive filling: all unfrozen flows' rates rise together; a flow
+// freezes when its sender's or receiver's capacity saturates. The
+// returned map carries one rate per flow.
+//
+// sendCap and recvCap map VM id -> hose guarantee B of that VM.
+// Missing entries mean "no guarantee" and freeze the flow at zero.
+func HoseAllocate(sendCap, recvCap map[int]float64, flows []Flow) map[Flow]float64 {
+	alloc := make(map[Flow]float64, len(flows))
+	frozen := make(map[Flow]bool, len(flows))
+
+	type nodeState struct {
+		cap  float64
+		used float64
+		live int
+	}
+	senders := make(map[int]*nodeState)
+	receivers := make(map[int]*nodeState)
+	for _, f := range flows {
+		if _, dup := alloc[f]; dup {
+			continue // duplicate flow entries collapse
+		}
+		alloc[f] = 0
+		sc, okS := sendCap[f.Src]
+		rc, okR := recvCap[f.Dst]
+		if !okS || !okR || sc <= 0 || rc <= 0 {
+			frozen[f] = true
+			continue
+		}
+		if senders[f.Src] == nil {
+			senders[f.Src] = &nodeState{cap: sc}
+		}
+		senders[f.Src].live++
+		if receivers[f.Dst] == nil {
+			receivers[f.Dst] = &nodeState{cap: rc}
+		}
+		receivers[f.Dst].live++
+	}
+
+	liveFlows := 0
+	for f := range alloc {
+		if !frozen[f] {
+			liveFlows++
+		}
+	}
+
+	// Each round saturates at least one node, so at most
+	// |senders|+|receivers| rounds run.
+	for liveFlows > 0 {
+		// The common rate increment is limited by the tightest node:
+		// headroom / live flow count.
+		delta := -1.0
+		for _, s := range senders {
+			if s.live == 0 {
+				continue
+			}
+			d := (s.cap - s.used) / float64(s.live)
+			if delta < 0 || d < delta {
+				delta = d
+			}
+		}
+		for _, r := range receivers {
+			if r.live == 0 {
+				continue
+			}
+			d := (r.cap - r.used) / float64(r.live)
+			if delta < 0 || d < delta {
+				delta = d
+			}
+		}
+		if delta < 0 {
+			break
+		}
+		if delta > 0 {
+			for f := range alloc {
+				if frozen[f] {
+					continue
+				}
+				alloc[f] += delta
+				senders[f.Src].used += delta
+				receivers[f.Dst].used += delta
+			}
+		}
+		// Freeze flows on saturated nodes.
+		progressed := false
+		for f := range alloc {
+			if frozen[f] {
+				continue
+			}
+			s, r := senders[f.Src], receivers[f.Dst]
+			if s.cap-s.used <= 1e-9*s.cap+1e-12 || r.cap-r.used <= 1e-9*r.cap+1e-12 {
+				frozen[f] = true
+				s.live--
+				r.live--
+				liveFlows--
+				progressed = true
+			}
+		}
+		if !progressed {
+			break // numerical stall; allocation is already max-min up to eps
+		}
+	}
+	return alloc
+}
+
+// HoseAllocateWithDemands is the demand-aware variant EyeQ converges
+// to: a flow's rate also freezes at its measured demand, so small
+// flows take only what they need and the residual redistributes to
+// backlogged flows — still never exceeding any sender or receiver
+// hose. Flows missing from demands are treated as unbounded
+// (backlogged).
+func HoseAllocateWithDemands(sendCap, recvCap map[int]float64, demands map[Flow]float64, flows []Flow) map[Flow]float64 {
+	alloc := make(map[Flow]float64, len(flows))
+	frozen := make(map[Flow]bool, len(flows))
+
+	type nodeState struct {
+		cap  float64
+		used float64
+		live int
+	}
+	senders := make(map[int]*nodeState)
+	receivers := make(map[int]*nodeState)
+	for _, f := range flows {
+		if _, dup := alloc[f]; dup {
+			continue
+		}
+		alloc[f] = 0
+		sc, okS := sendCap[f.Src]
+		rc, okR := recvCap[f.Dst]
+		d, hasD := demands[f]
+		if !okS || !okR || sc <= 0 || rc <= 0 || (hasD && d <= 0) {
+			frozen[f] = true
+			continue
+		}
+		if senders[f.Src] == nil {
+			senders[f.Src] = &nodeState{cap: sc}
+		}
+		senders[f.Src].live++
+		if receivers[f.Dst] == nil {
+			receivers[f.Dst] = &nodeState{cap: rc}
+		}
+		receivers[f.Dst].live++
+	}
+	liveFlows := 0
+	for f := range alloc {
+		if !frozen[f] {
+			liveFlows++
+		}
+	}
+
+	for liveFlows > 0 {
+		delta := -1.0
+		for _, s := range senders {
+			if s.live == 0 {
+				continue
+			}
+			if d := (s.cap - s.used) / float64(s.live); delta < 0 || d < delta {
+				delta = d
+			}
+		}
+		for _, r := range receivers {
+			if r.live == 0 {
+				continue
+			}
+			if d := (r.cap - r.used) / float64(r.live); delta < 0 || d < delta {
+				delta = d
+			}
+		}
+		// Demand caps can bind before node shares do.
+		for f := range alloc {
+			if frozen[f] {
+				continue
+			}
+			if d, ok := demands[f]; ok {
+				if rem := d - alloc[f]; delta < 0 || rem < delta {
+					delta = rem
+				}
+			}
+		}
+		if delta < 0 {
+			break
+		}
+		if delta > 0 {
+			for f := range alloc {
+				if frozen[f] {
+					continue
+				}
+				alloc[f] += delta
+				senders[f.Src].used += delta
+				receivers[f.Dst].used += delta
+			}
+		}
+		progressed := false
+		for f := range alloc {
+			if frozen[f] {
+				continue
+			}
+			s, r := senders[f.Src], receivers[f.Dst]
+			demandMet := false
+			if d, ok := demands[f]; ok && alloc[f] >= d-1e-9*d-1e-12 {
+				demandMet = true
+			}
+			if demandMet ||
+				s.cap-s.used <= 1e-9*s.cap+1e-12 ||
+				r.cap-r.used <= 1e-9*r.cap+1e-12 {
+				frozen[f] = true
+				s.live--
+				r.live--
+				liveFlows--
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return alloc
+}
+
+// ApplyAllocation pushes coordinator rates into the per-destination
+// buckets of the given VMs (keyed by VM id).
+func ApplyAllocation(now int64, vms map[int]*VM, rates map[Flow]float64) {
+	for f, r := range rates {
+		if vm, ok := vms[f.Src]; ok {
+			vm.SetDestRate(now, f.Dst, r)
+		}
+	}
+}

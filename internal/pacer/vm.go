@@ -1,0 +1,311 @@
+package pacer
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Packet is one frame handed to the pacer (data) or synthesized by the
+// batcher (void).
+type Packet struct {
+	// Bytes is the on-wire frame size including Ethernet overhead.
+	Bytes int
+	// SrcVM and DstVM identify endpoints for hose accounting.
+	SrcVM, DstVM int
+	// Void marks a spacer frame (MAC src == MAC dst) that the first
+	// switch drops.
+	Void bool
+	// Release is the earliest ns at which the frame may leave the NIC,
+	// assigned when the scheduler commits the packet (-1 while it
+	// waits in its destination queue).
+	Release int64
+	// Wire is the ns at which the batcher actually laid the frame on
+	// the wire (set during batch building).
+	Wire int64
+	// Ref carries an opaque payload reference for integrations (e.g.
+	// the simulator's packet).
+	Ref interface{}
+
+	enq int64  // enqueue time
+	seq uint64 // FIFO tiebreak within equal Release
+}
+
+// MinVoidBytes is the smallest legal Ethernet frame including preamble
+// and inter-frame gap: 84 bytes, 67.2 ns at 10 GbE (paper §4.3.1).
+const MinVoidBytes = 84
+
+// Guarantee configures a VM pacer.
+type Guarantee struct {
+	// BandwidthBps is B, the average rate (token bucket rate).
+	BandwidthBps float64
+	// BurstBytes is S, the {B,S} bucket's size.
+	BurstBytes float64
+	// BurstRateBps is Bmax, the cap bucket's rate. <= 0 means
+	// unlimited.
+	BurstRateBps float64
+	// MTUBytes sizes the cap bucket (one packet may go at wire speed).
+	MTUBytes float64
+}
+
+// VM shapes one virtual machine's egress traffic through the paper's
+// token-bucket hierarchy (Figure 8): per-destination hose buckets on
+// top, the {B, S} tenant bucket in the middle, the Bmax cap bucket at
+// the bottom.
+//
+// Packets wait in per-destination FIFOs and are committed through the
+// bucket chain in chronological release order — exactly as the
+// filter driver drains its queues. Committing in time order is what
+// keeps the chain jointly conformant: every bucket's virtual clock
+// moves monotonically, so no packet can consume budget "in the past"
+// on behalf of a packet that another bucket has deferred.
+type VM struct {
+	ID  int
+	g   Guarantee
+	cap *TokenBucket // Bmax
+	avg *TokenBucket // {B, S}
+	dst map[int]*TokenBucket
+
+	queues  map[int][]*Packet // per-destination FIFO of unscheduled packets
+	queued  int
+	ready   packetHeap // committed packets in release order
+	seq     uint64
+	horizon int64 // all packets with release <= horizon are committed
+
+	// Demand accounting for the hose coordinator.
+	queuedBytes map[int]int64 // per-destination bytes awaiting commit
+	sentBytes   map[int]int64 // per-destination cumulative committed bytes
+}
+
+// NewVM returns a pacer for one VM, with buckets full at time start.
+func NewVM(id int, g Guarantee, start int64) *VM {
+	if g.MTUBytes <= 0 {
+		g.MTUBytes = 1500
+	}
+	burst := g.BurstBytes
+	if burst < g.MTUBytes {
+		burst = g.MTUBytes // a bucket must admit at least one packet
+	}
+	return &VM{
+		ID:          id,
+		g:           g,
+		cap:         NewTokenBucket(g.BurstRateBps, g.MTUBytes, start),
+		avg:         NewTokenBucket(g.BandwidthBps, burst, start),
+		dst:         make(map[int]*TokenBucket),
+		queues:      make(map[int][]*Packet),
+		queuedBytes: make(map[int]int64),
+		sentBytes:   make(map[int]int64),
+	}
+}
+
+// Guarantee returns the VM's pacer configuration.
+func (v *VM) Guarantee() Guarantee { return v.g }
+
+// QueuedBytesTo reports bytes awaiting release toward dst.
+func (v *VM) QueuedBytesTo(dst int) int64 { return v.queuedBytes[dst] }
+
+// SentBytesTo reports cumulative bytes committed toward dst.
+func (v *VM) SentBytesTo(dst int) int64 { return v.sentBytes[dst] }
+
+// Destinations lists every destination this VM has ever queued traffic
+// toward (used by the hose coordinator to enumerate candidate flows).
+func (v *VM) Destinations() []int {
+	out := make([]int, 0, len(v.sentBytes))
+	for d := range v.sentBytes {
+		out = append(out, d)
+	}
+	for d := range v.queuedBytes {
+		if _, seen := v.sentBytes[d]; !seen {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// SetDestRate installs or retunes the per-destination hose bucket for
+// traffic toward dst (paper Figure 8, top row; rates come from the
+// hose coordinator with Σ rates <= B). A rate of 0 removes the bucket
+// (destination unconstrained pending coordination).
+func (v *VM) SetDestRate(now int64, dst int, rate float64) {
+	if rate <= 0 {
+		delete(v.dst, dst)
+		return
+	}
+	if b, ok := v.dst[dst]; ok {
+		b.SetRate(now, rate)
+		return
+	}
+	// Per-destination buckets carry the full burst allowance: bursts
+	// are not destination-limited (§4.1).
+	burst := v.g.BurstBytes
+	if burst < v.g.MTUBytes {
+		burst = v.g.MTUBytes
+	}
+	v.dst[dst] = NewTokenBucket(rate, burst, now)
+}
+
+// DestRate reports the installed per-destination rate toward dst
+// (0 if no bucket is installed).
+func (v *VM) DestRate(dst int) float64 {
+	if b, ok := v.dst[dst]; ok {
+		return b.Rate()
+	}
+	return 0
+}
+
+// Enqueue admits one data packet into its destination queue. The
+// release stamp is assigned later, when the scheduler commits the
+// packet in chronological order.
+func (v *VM) Enqueue(now int64, dstVM, bytes int, ref interface{}) *Packet {
+	p := &Packet{
+		Bytes:   bytes,
+		SrcVM:   v.ID,
+		DstVM:   dstVM,
+		Release: -1,
+		Ref:     ref,
+		enq:     now,
+		seq:     v.seq,
+	}
+	v.seq++
+	v.queues[dstVM] = append(v.queues[dstVM], p)
+	v.queued++
+	v.queuedBytes[dstVM] += int64(bytes)
+	return p
+}
+
+// feasible returns the earliest release for a packet given current
+// bucket states, without committing. A single forward pass is exact:
+// token balances only grow with time, so feasibility at a later stage
+// never invalidates an earlier one.
+func (v *VM) feasible(p *Packet) int64 {
+	r := p.enq
+	n := p.Bytes
+	if b, ok := v.dst[p.DstVM]; ok {
+		if f := b.Free(r, n); f > r {
+			r = f
+		}
+	}
+	if f := v.avg.Free(r, n); f > r {
+		r = f
+	}
+	if f := v.cap.Free(r, n); f > r {
+		r = f
+	}
+	return r
+}
+
+// Schedule commits queued packets with release stamps <= upTo, in
+// chronological order, moving them to the ready heap.
+func (v *VM) Schedule(upTo int64) {
+	for v.queued > 0 {
+		bestR := int64(math.MaxInt64)
+		bestDst := 0
+		var bestSeq uint64
+		found := false
+		for d, q := range v.queues {
+			if len(q) == 0 {
+				continue
+			}
+			r := v.feasible(q[0])
+			if !found || r < bestR || (r == bestR && q[0].seq < bestSeq) {
+				found = true
+				bestR = r
+				bestDst = d
+				bestSeq = q[0].seq
+			}
+		}
+		if !found || bestR > upTo {
+			break
+		}
+		q := v.queues[bestDst]
+		p := q[0]
+		v.queues[bestDst] = q[1:]
+		v.queued--
+		v.queuedBytes[bestDst] -= int64(p.Bytes)
+		v.sentBytes[bestDst] += int64(p.Bytes)
+		// Commit through the chain at the final release time.
+		if b, ok := v.dst[p.DstVM]; ok {
+			b.Commit(bestR, p.Bytes)
+		}
+		v.avg.Commit(bestR, p.Bytes)
+		v.cap.Commit(bestR, p.Bytes)
+		p.Release = bestR
+		heap.Push(&v.ready, p)
+	}
+	if upTo > v.horizon {
+		v.horizon = upTo
+	}
+}
+
+// Pending reports packets not yet handed to the batcher (queued plus
+// scheduled-but-unsent).
+func (v *VM) Pending() int { return v.queued + v.ready.Len() }
+
+// NextEventTime returns the earliest time at which this VM has a
+// packet eligible to leave: the head of the ready heap or the earliest
+// feasible release among queue heads.
+func (v *VM) NextEventTime() (int64, bool) {
+	best := int64(math.MaxInt64)
+	ok := false
+	if v.ready.Len() > 0 {
+		best = v.ready[0].Release
+		ok = true
+	}
+	for _, q := range v.queues {
+		if len(q) == 0 {
+			continue
+		}
+		if r := v.feasible(q[0]); r < best {
+			best = r
+			ok = true
+		}
+	}
+	if !ok {
+		return 0, false
+	}
+	return best, true
+}
+
+// PeekRelease returns the earliest committed release time. Callers
+// must Schedule() past their horizon of interest first.
+func (v *VM) PeekRelease() (int64, bool) {
+	if v.ready.Len() == 0 {
+		return 0, false
+	}
+	return v.ready[0].Release, true
+}
+
+// PopReady removes and returns the earliest committed packet if its
+// release time is <= horizon.
+func (v *VM) PopReady(horizon int64) (*Packet, bool) {
+	if v.ready.Len() == 0 || v.ready[0].Release > horizon {
+		return nil, false
+	}
+	return heap.Pop(&v.ready).(*Packet), true
+}
+
+func (v *VM) String() string {
+	return fmt.Sprintf("VM(%d: B=%.0f S=%.0f Bmax=%.0f, %d queued)",
+		v.ID, v.g.BandwidthBps, v.g.BurstBytes, v.g.BurstRateBps, v.Pending())
+}
+
+// packetHeap orders packets by (Release, seq).
+type packetHeap []*Packet
+
+func (h packetHeap) Len() int { return len(h) }
+func (h packetHeap) Less(i, j int) bool {
+	if h[i].Release != h[j].Release {
+		return h[i].Release < h[j].Release
+	}
+	return h[i].seq < h[j].seq
+}
+func (h packetHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *packetHeap) Push(x interface{}) { *h = append(*h, x.(*Packet)) }
+func (h *packetHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return p
+}

@@ -1,0 +1,78 @@
+package placement
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+	"repro/internal/tenant"
+	"repro/internal/topology"
+)
+
+// Property: under arbitrary admit/remove interleavings, the manager's
+// incremental port state always equals a from-scratch recomputation,
+// and no admitted set ever violates constraint 1.
+func TestRandomChurnInvariantsProperty(t *testing.T) {
+	f := func(seed uint64, opsRaw uint8) bool {
+		tree := mustSmallTree()
+		m := NewManager(tree, Options{})
+		rng := stats.NewRand(seed)
+		ops := int(opsRaw)%40 + 10
+		live := []int{}
+		nextID := 1
+		for i := 0; i < ops; i++ {
+			if len(live) > 0 && rng.Float64() < 0.4 {
+				idx := rng.Intn(len(live))
+				if err := m.Remove(live[idx]); err != nil {
+					return false
+				}
+				live[idx] = live[len(live)-1]
+				live = live[:len(live)-1]
+				continue
+			}
+			vms := 1 + rng.Intn(8)
+			fd := 1 + rng.Intn(3)
+			if fd > vms {
+				fd = vms
+			}
+			spec := tenant.Spec{
+				ID:   nextID,
+				Name: "churn",
+				VMs:  vms,
+				Guarantee: tenant.Guarantee{
+					BandwidthBps: float64(1+rng.Intn(20)) * 100 * mbps,
+					BurstBytes:   float64(1+rng.Intn(10)) * 3e3,
+					DelayBound:   float64(rng.Intn(3)) * 1e-3, // 0, 1ms or 2ms
+					BurstRateBps: 10 * gbps,
+				},
+				FaultDomains: fd,
+			}
+			nextID++
+			if _, err := m.Place(spec); err == nil {
+				live = append(live, spec.ID)
+			}
+		}
+		return m.VerifyInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustSmallTree() *topology.Tree {
+	tree, err := topology.New(topology.Config{
+		Pods:           2,
+		RacksPerPod:    2,
+		ServersPerRack: 4,
+		SlotsPerServer: 4,
+		LinkBps:        10 * gbps,
+		BufferBytes:    312e3,
+		NICBufferBytes: 62.5e3,
+		RackOversub:    2,
+		PodOversub:     2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return tree
+}

@@ -1,0 +1,112 @@
+// Package placement implements Silo's admission control and VM
+// placement (paper §4.2) plus the baselines it is evaluated against:
+// Oktopus-style bandwidth-aware placement, Okto+ (Oktopus with burst
+// allowance), and locality-aware greedy packing.
+//
+// Silo maps a tenant's {B, S, d} guarantees onto two constraints over
+// directed switch ports:
+//
+//  1. at every port carrying the tenant's traffic, the worst-case
+//     queuing delay (queue bound, from network calculus) must not
+//     exceed the port's queue capacity (buffer drain time) — this
+//     guarantees bandwidth and that bursts never overflow buffers;
+//  2. along every path between two of the tenant's VMs, the sum of
+//     queue capacities must not exceed the tenant's delay bound d.
+//
+// Port state is maintained as the exact scalar sums (rate, burst,
+// peak, seed) of the admitted rate-capped arrival curves. The two-piece
+// curve rebuilt from those sums pointwise dominates the true aggregate
+// (min is superadditive), so the computed queue bound is conservative,
+// while adds and removals stay O(1) and exact.
+package placement
+
+import (
+	"repro/internal/netcal"
+	"repro/internal/topology"
+)
+
+// contribution is a tenant's arrival-curve contribution at one
+// directed port, in the scalar form of a rate-capped curve
+// min(Peak·t + Seed, Rate·t + Burst).
+type contribution struct {
+	Rate  float64 // sustained bytes/sec across the cut (hose-limited)
+	Burst float64 // burst bytes, including upstream inflation
+	Peak  float64 // peak arrival rate at this port, bytes/sec
+	Seed  float64 // instantaneous packet-scale burst, bytes
+}
+
+func (c contribution) isZero() bool {
+	return c.Rate == 0 && c.Burst == 0 && c.Peak == 0 && c.Seed == 0
+}
+
+// curve materializes the contribution as a netcal curve.
+func (c contribution) curve() netcal.Curve {
+	if c.Peak <= 0 {
+		return netcal.NewTokenBucket(c.Rate, c.Burst)
+	}
+	return netcal.NewRateCapped(c.Rate, c.Burst, c.Peak, c.Seed)
+}
+
+// portState is the aggregate of all admitted contributions at a port.
+type portState struct {
+	contribution
+	tenants int // number of tenants contributing
+}
+
+func (p *portState) add(c contribution) {
+	p.Rate += c.Rate
+	p.Burst += c.Burst
+	p.Peak += c.Peak
+	p.Seed += c.Seed
+	p.tenants++
+}
+
+func (p *portState) remove(c contribution) {
+	p.Rate -= c.Rate
+	p.Burst -= c.Burst
+	p.Peak -= c.Peak
+	p.Seed -= c.Seed
+	p.tenants--
+	// Clamp float residue so an emptied port is exactly zero.
+	if p.tenants == 0 {
+		p.contribution = contribution{}
+	}
+}
+
+// queueBound returns the port's worst-case queuing delay in seconds
+// under the aggregate state plus an optional extra contribution.
+func queueBound(port *topology.Port, st portState, extra contribution) float64 {
+	total := st.contribution
+	total.Rate += extra.Rate
+	total.Burst += extra.Burst
+	total.Peak += extra.Peak
+	total.Seed += extra.Seed
+	if total.isZero() {
+		return 0
+	}
+	return netcal.QueueBound(contribution(total).curve(), netcal.NewRateLatency(port.RateBps, 0))
+}
+
+// distribution summarizes where a tenant's VMs sit relative to the
+// tree, for computing per-port cuts and ingress capacities.
+type distribution struct {
+	total     int
+	perServer map[int]int
+	perRack   map[int]int
+	perPod    map[int]int
+}
+
+func newDistribution(tree *topology.Tree, servers []int) distribution {
+	d := distribution{
+		total:     len(servers),
+		perServer: make(map[int]int),
+		perRack:   make(map[int]int),
+		perPod:    make(map[int]int),
+	}
+	for _, s := range servers {
+		d.perServer[s]++
+		d.perRack[tree.RackOfServer(s)]++
+		d.perPod[tree.PodOfServer(s)]++
+	}
+	return d
+}

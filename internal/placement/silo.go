@@ -1,0 +1,770 @@
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/netcal"
+	"repro/internal/tenant"
+	"repro/internal/topology"
+)
+
+// Common sentinel errors.
+var (
+	// ErrRejected reports that admission control found no valid
+	// placement for a tenant request.
+	ErrRejected = errors.New("placement: request rejected")
+	// ErrUnknownTenant reports a Remove of a tenant that is not
+	// admitted.
+	ErrUnknownTenant = errors.New("placement: unknown tenant")
+)
+
+// Algorithm is the common interface of Silo and the baseline placers.
+type Algorithm interface {
+	// Place admits the tenant and returns where its VMs landed, or
+	// ErrRejected (wrapped) if no valid placement exists.
+	Place(spec tenant.Spec) (*tenant.Placement, error)
+	// Remove releases an admitted tenant's resources.
+	Remove(id int) error
+	// Name identifies the algorithm in experiment output.
+	Name() string
+}
+
+// Options tunes the Silo manager; the zero value is the paper's
+// configuration.
+type Options struct {
+	// MTUBytes seeds packet-scale bursts in arrival curves; defaults
+	// to 1500.
+	MTUBytes float64
+	// PlainAggregation disables the hose-model tightening of
+	// aggregated arrival curves (ablation; paper §4.2.2 derives the
+	// tighter form).
+	PlainAggregation bool
+	// DelayCheckUsesBound makes constraint 2 use current queue bounds
+	// instead of queue capacities (ablation; the paper argues
+	// capacities keep admission composable under churn, §4.2.3).
+	DelayCheckUsesBound bool
+}
+
+// Manager is Silo's placement manager (admission control + VM
+// placement).
+type Manager struct {
+	tree *topology.Tree
+	opts Options
+
+	freeSlots []int
+	// freeByRack and freeByPod cache slot sums so the scope search can
+	// skip full racks/pods in O(1) (placement on 100 K hosts is
+	// dominated by scanning otherwise).
+	freeByRack []int
+	freeByPod  []int
+	// freeCPU and freeMem are per-server non-network capacities (nil
+	// when the topology declares none).
+	freeCPU  []float64
+	freeMem  []float64
+	ports    []portState
+	admitted map[int]*admittedTenant
+
+	acceptedCount int
+	rejectedCount int
+}
+
+type admittedTenant struct {
+	placement *tenant.Placement
+	// contribs maps port ID -> this tenant's contribution, retained so
+	// Remove can subtract exactly what Place added.
+	contribs map[int]contribution
+}
+
+// NewManager returns a Silo placement manager over the given
+// datacenter.
+func NewManager(tree *topology.Tree, opts Options) *Manager {
+	if opts.MTUBytes <= 0 {
+		opts.MTUBytes = 1500
+	}
+	m := &Manager{
+		tree:       tree,
+		opts:       opts,
+		freeSlots:  make([]int, tree.Servers()),
+		freeByRack: make([]int, tree.Racks()),
+		freeByPod:  make([]int, tree.Pods()),
+		ports:      make([]portState, tree.NumPorts()),
+		admitted:   make(map[int]*admittedTenant),
+	}
+	slots := tree.Config().SlotsPerServer
+	for i := range m.freeSlots {
+		m.freeSlots[i] = slots
+	}
+	if c := tree.Config().CPUPerServer; c > 0 {
+		m.freeCPU = make([]float64, tree.Servers())
+		for i := range m.freeCPU {
+			m.freeCPU[i] = c
+		}
+	}
+	if mem := tree.Config().MemoryPerServer; mem > 0 {
+		m.freeMem = make([]float64, tree.Servers())
+		for i := range m.freeMem {
+			m.freeMem[i] = mem
+		}
+	}
+	for r := range m.freeByRack {
+		m.freeByRack[r] = slots * tree.Config().ServersPerRack
+	}
+	for p := range m.freeByPod {
+		m.freeByPod[p] = slots * tree.Config().ServersPerRack * tree.Config().RacksPerPod
+	}
+	return m
+}
+
+// takeSlot and freeSlot keep the cached sums consistent, including
+// non-network resources.
+func (m *Manager) takeSlot(server int, spec tenant.Spec) {
+	m.freeSlots[server]--
+	m.freeByRack[m.tree.RackOfServer(server)]--
+	m.freeByPod[m.tree.PodOfServer(server)]--
+	if m.freeCPU != nil {
+		m.freeCPU[server] -= spec.CPUPerVM
+	}
+	if m.freeMem != nil {
+		m.freeMem[server] -= spec.MemoryPerVM
+	}
+}
+
+func (m *Manager) freeSlot(server int, spec tenant.Spec) {
+	m.freeSlots[server]++
+	m.freeByRack[m.tree.RackOfServer(server)]++
+	m.freeByPod[m.tree.PodOfServer(server)]++
+	if m.freeCPU != nil {
+		m.freeCPU[server] += spec.CPUPerVM
+	}
+	if m.freeMem != nil {
+		m.freeMem[server] += spec.MemoryPerVM
+	}
+}
+
+// maxVMsByResources caps a server's VM count by slots, CPU and memory.
+func (m *Manager) maxVMsByResources(spec tenant.Spec, server int) int {
+	k := m.freeSlots[server]
+	if m.freeCPU != nil && spec.CPUPerVM > 0 {
+		if byCPU := int(m.freeCPU[server] / spec.CPUPerVM); byCPU < k {
+			k = byCPU
+		}
+	}
+	if m.freeMem != nil && spec.MemoryPerVM > 0 {
+		if byMem := int(m.freeMem[server] / spec.MemoryPerVM); byMem < k {
+			k = byMem
+		}
+	}
+	if k < 0 {
+		k = 0
+	}
+	return k
+}
+
+// Name implements Algorithm.
+func (m *Manager) Name() string { return "silo" }
+
+// Accepted and Rejected report cumulative admission counters.
+func (m *Manager) Accepted() int { return m.acceptedCount }
+
+// Rejected reports the number of rejected requests.
+func (m *Manager) Rejected() int { return m.rejectedCount }
+
+// FreeSlots reports the number of free VM slots on server s.
+func (m *Manager) FreeSlots(s int) int { return m.freeSlots[s] }
+
+// QueueBound reports the current worst-case queuing delay (seconds) at
+// the given directed port.
+func (m *Manager) QueueBound(portID int) float64 {
+	return queueBound(m.tree.Port(portID), m.ports[portID], contribution{})
+}
+
+// Placement returns the admitted placement for a tenant ID, if any.
+func (m *Manager) Placement(id int) (*tenant.Placement, bool) {
+	at, ok := m.admitted[id]
+	if !ok {
+		return nil, false
+	}
+	return at.placement, true
+}
+
+// Place implements Algorithm. Placement proceeds scope by scope —
+// single server, then each rack, each pod, then the whole datacenter —
+// and within a scope first packs greedily and then, if the packed
+// layout violates a queuing constraint, retries with an even spread
+// (paper Figure 5: 3/3/3 beats 4/4/1).
+func (m *Manager) Place(spec tenant.Spec) (*tenant.Placement, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if _, dup := m.admitted[spec.ID]; dup {
+		return nil, fmt.Errorf("placement: tenant %d already admitted", spec.ID)
+	}
+	if spec.Class == tenant.ClassBestEffort {
+		// Best-effort tenants bypass network admission (paper §4.4);
+		// they ride the low priority class and only consume slots.
+		return m.placeBestEffort(spec)
+	}
+
+	servers := m.findPlacement(spec)
+	if servers == nil {
+		m.rejectedCount++
+		return nil, fmt.Errorf("%w: tenant %q (%d VMs)", ErrRejected, spec.Name, spec.VMs)
+	}
+	pl := &tenant.Placement{Spec: spec, Servers: servers}
+	contribs := m.contributions(spec, newDistribution(m.tree, servers))
+	for pid, c := range contribs {
+		m.ports[pid].add(c)
+	}
+	for _, s := range servers {
+		m.takeSlot(s, spec)
+	}
+	m.admitted[spec.ID] = &admittedTenant{placement: pl, contribs: contribs}
+	m.acceptedCount++
+	return pl, nil
+}
+
+// Remove implements Algorithm.
+func (m *Manager) Remove(id int) error {
+	at, ok := m.admitted[id]
+	if !ok {
+		return fmt.Errorf("%w: id %d", ErrUnknownTenant, id)
+	}
+	for pid, c := range at.contribs {
+		m.ports[pid].remove(c)
+	}
+	for _, s := range at.placement.Servers {
+		m.freeSlot(s, at.placement.Spec)
+	}
+	delete(m.admitted, id)
+	return nil
+}
+
+func (m *Manager) placeBestEffort(spec tenant.Spec) (*tenant.Placement, error) {
+	eff := m.freeSlots
+	if m.freeCPU != nil || m.freeMem != nil {
+		eff = make([]int, len(m.freeSlots))
+		for s := range eff {
+			eff[s] = m.maxVMsByResources(spec, s)
+		}
+	}
+	servers := packGreedy(m.tree, eff, spec.VMs, spec.FaultDomains)
+	if servers == nil {
+		m.rejectedCount++
+		return nil, fmt.Errorf("%w: best-effort tenant %q (%d VMs)", ErrRejected, spec.Name, spec.VMs)
+	}
+	pl := &tenant.Placement{Spec: spec, Servers: servers}
+	for _, s := range servers {
+		m.takeSlot(s, spec)
+	}
+	m.admitted[spec.ID] = &admittedTenant{placement: pl, contribs: map[int]contribution{}}
+	m.acceptedCount++
+	return pl, nil
+}
+
+// findPlacement searches scopes in height order and returns the chosen
+// server per VM, or nil.
+func (m *Manager) findPlacement(spec tenant.Spec) []int {
+	g := spec.Guarantee
+	// Constraint 2 pre-check per scope height: the worst path inside a
+	// scope has a fixed queue-capacity sum; scopes whose sum exceeds d
+	// cannot host the tenant (unless it fits a single server, where no
+	// network port is crossed).
+	delayBudget := g.DelayBound
+	if delayBudget <= 0 {
+		delayBudget = math.Inf(1)
+	}
+
+	// Scope 0: single server (no network traffic, no constraints
+	// beyond slots and fault domains).
+	if spec.FaultDomains <= 1 {
+		for s := 0; s < m.tree.Servers(); s++ {
+			if m.maxVMsByResources(spec, s) >= spec.VMs {
+				servers := make([]int, spec.VMs)
+				for i := range servers {
+					servers[i] = s
+				}
+				return servers
+			}
+		}
+	}
+
+	// Scope 1: single rack.
+	if m.scopeDelayOK(delayBudget, scopeRack) {
+		for r := 0; r < m.tree.Racks(); r++ {
+			if m.freeByRack[r] < spec.VMs {
+				continue
+			}
+			lo, hi := m.tree.ServersOfRack(r)
+			if servers := m.tryScope(spec, rangeInts(lo, hi), scopeRack); servers != nil {
+				return servers
+			}
+		}
+	}
+	// Scope 2: single pod.
+	if m.scopeDelayOK(delayBudget, scopePod) {
+		for p := 0; p < m.tree.Pods(); p++ {
+			if m.freeByPod[p] < spec.VMs {
+				continue
+			}
+			rlo, rhi := m.tree.RacksOfPod(p)
+			slo, _ := m.tree.ServersOfRack(rlo)
+			_, shi := m.tree.ServersOfRack(rhi - 1)
+			if servers := m.tryScope(spec, rangeInts(slo, shi), scopePod); servers != nil {
+				return servers
+			}
+		}
+	}
+	// Scope 3: whole datacenter.
+	if m.scopeDelayOK(delayBudget, scopeDC) {
+		if servers := m.tryScope(spec, rangeInts(0, m.tree.Servers()), scopeDC); servers != nil {
+			return servers
+		}
+	}
+	return nil
+}
+
+type scopeHeight int
+
+const (
+	scopeRack scopeHeight = iota
+	scopePod
+	scopeDC
+)
+
+// scopeDelayOK checks constraint 2 for the worst path within a scope.
+// Queue capacities are uniform per level in the tree, so representative
+// ports suffice.
+func (m *Manager) scopeDelayOK(budget float64, h scopeHeight) bool {
+	if math.IsInf(budget, 1) {
+		return true
+	}
+	t := m.tree
+	nic := t.ServerUpPort(0).QueueCapacity()
+	rackDown := t.RackDownPort(0).QueueCapacity()
+	rackUp := t.RackUpPort(0).QueueCapacity()
+	podDown := t.PodDownPort(0).QueueCapacity()
+	podUp := t.PodUpPort(0).QueueCapacity()
+	coreDown := t.CoreDownPort(0).QueueCapacity()
+	var worst float64
+	switch h {
+	case scopeRack:
+		worst = nic + rackDown
+	case scopePod:
+		worst = nic + rackUp + podDown + rackDown
+	default:
+		worst = nic + rackUp + podUp + coreDown + podDown + rackDown
+	}
+	return worst <= budget+1e-15
+}
+
+// tryScope attempts to place all VMs within the candidate servers.
+// Pass 1 packs greedily (per-server count capped by the server-local
+// queuing constraints); pass 2 spreads evenly. Each pass's layout is
+// verified against the full constraint set before being accepted.
+func (m *Manager) tryScope(spec tenant.Spec, candidates []int, span scopeHeight) []int {
+	free := 0
+	for _, s := range candidates {
+		free += m.freeSlots[s]
+	}
+	if free < spec.VMs {
+		return nil
+	}
+
+	// Pass 1: greedy pack, honoring the per-server VM cap derived from
+	// the server's own up/down port constraints (paper §4.2.3).
+	if servers := m.packWithCaps(spec, candidates, span); servers != nil {
+		if m.layoutValid(spec, servers) {
+			return servers
+		}
+	}
+	// Pass 2: spread evenly across candidate servers.
+	if servers := m.spreadEven(spec, candidates); servers != nil {
+		if m.layoutValid(spec, servers) {
+			return servers
+		}
+	}
+	return nil
+}
+
+// maxVMsOnServer returns the largest VM count on server s compatible
+// with the queuing constraints at s's NIC port and its ToR down port,
+// assuming the remaining VMs sit elsewhere (worst case for both
+// ports). span is the scope being attempted, which sets the burst
+// inflation the rest of the tenant's traffic accrues en route.
+func (m *Manager) maxVMsOnServer(spec tenant.Spec, s int, span scopeHeight) int {
+	limit := m.maxVMsByResources(spec, s)
+	if limit > spec.VMs {
+		limit = spec.VMs
+	}
+	for k := limit; k >= 1; k-- {
+		if m.serverPortsOK(spec, s, k, span) {
+			return k
+		}
+	}
+	return 0
+}
+
+func (m *Manager) serverPortsOK(spec tenant.Spec, s, k int, span scopeHeight) bool {
+	n := spec.VMs
+	g := spec.Guarantee
+	up := m.tree.ServerUpPort(s)
+	upC := m.cutContribution(k, n, g, up.RateBps, 0)
+	if !m.portOK(up, upC) {
+		return false
+	}
+	down := m.tree.RackDownPort(s)
+	// Ingress to the ToR from the rest of the tenant: worst case the
+	// other n−k VMs are spread across many links, so peak is capped
+	// only by their combined burst rate.
+	inflation := m.inflation(span, topology.LevelRack, topology.Down)
+	downC := m.cutContribution(n-k, n, g, math.Inf(1), inflation)
+	return m.portOK(down, downC)
+}
+
+// packWithCaps fills candidate servers in order, each up to its cap.
+func (m *Manager) packWithCaps(spec tenant.Spec, candidates []int, span scopeHeight) []int {
+	servers := make([]int, 0, spec.VMs)
+	left := spec.VMs
+	maxPer := maxPerServer(spec.VMs, spec.FaultDomains)
+	for _, s := range candidates {
+		if left == 0 {
+			break
+		}
+		k := m.maxVMsOnServer(spec, s, span)
+		if k > maxPer {
+			k = maxPer
+		}
+		if k > left {
+			k = left
+		}
+		for i := 0; i < k; i++ {
+			servers = append(servers, s)
+		}
+		left -= k
+	}
+	if left > 0 {
+		return nil
+	}
+	if !faultDomainsOK(servers, spec.FaultDomains) {
+		return nil
+	}
+	return servers
+}
+
+// spreadEven distributes VMs round-robin over candidate servers with
+// free slots.
+func (m *Manager) spreadEven(spec tenant.Spec, candidates []int) []int {
+	remaining := make([]int, len(candidates))
+	total := 0
+	for i, s := range candidates {
+		remaining[i] = m.maxVMsByResources(spec, s)
+		total += remaining[i]
+	}
+	if total < spec.VMs {
+		return nil
+	}
+	servers := make([]int, 0, spec.VMs)
+	left := spec.VMs
+	for left > 0 {
+		progress := false
+		for i, s := range candidates {
+			if left == 0 {
+				break
+			}
+			if remaining[i] > 0 {
+				servers = append(servers, s)
+				remaining[i]--
+				left--
+				progress = true
+			}
+		}
+		if !progress {
+			return nil
+		}
+	}
+	if !faultDomainsOK(servers, spec.FaultDomains) {
+		return nil
+	}
+	return servers
+}
+
+// layoutValid runs the full constraint check for a candidate layout:
+// every port the tenant touches must keep queue bound <= queue
+// capacity with the tenant's contribution added, and every intra-
+// tenant path must satisfy the delay constraint.
+func (m *Manager) layoutValid(spec tenant.Spec, servers []int) bool {
+	dist := newDistribution(m.tree, servers)
+	contribs := m.contributions(spec, dist)
+	for pid, c := range contribs {
+		port := m.tree.Port(pid)
+		if queueBound(port, m.ports[pid], c) > port.QueueCapacity()+1e-12 {
+			return false
+		}
+	}
+	// Constraint 2 over actual server pairs.
+	if d := spec.Guarantee.DelayBound; d > 0 {
+		distinct := (&tenant.Placement{Servers: servers}).DistinctServers()
+		for i := 0; i < len(distinct); i++ {
+			for j := i + 1; j < len(distinct); j++ {
+				if m.pathDelayMetric(distinct[i], distinct[j]) > d+1e-15 {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// pathDelayMetric sums per-port delay terms along a path: queue
+// capacities normally, or live queue bounds under the ablation option.
+func (m *Manager) pathDelayMetric(src, dst int) float64 {
+	var sum float64
+	for _, p := range m.tree.Path(src, dst) {
+		if m.opts.DelayCheckUsesBound {
+			sum += queueBound(p, m.ports[p.ID], contribution{})
+		} else {
+			sum += p.QueueCapacity()
+		}
+	}
+	return sum
+}
+
+func (m *Manager) portOK(port *topology.Port, c contribution) bool {
+	if c.isZero() {
+		return true
+	}
+	return queueBound(port, m.ports[port.ID], c) <= port.QueueCapacity()+1e-12
+}
+
+// cutContribution builds the arrival-curve contribution of m tenant
+// VMs sending across a cut of an n-VM tenant, with the given ingress
+// peak capacity and upstream burst inflation (seconds of queue
+// capacity crossed so far).
+func (m *Manager) cutContribution(mSide, n int, g tenant.Guarantee, ingressCap, inflation float64) contribution {
+	if mSide <= 0 || mSide >= n {
+		return contribution{}
+	}
+	var rate float64
+	if m.opts.PlainAggregation {
+		rate = float64(mSide) * g.BandwidthBps
+	} else {
+		other := n - mSide
+		lim := mSide
+		if other < lim {
+			lim = other
+		}
+		rate = float64(lim) * g.BandwidthBps
+	}
+	burst := float64(mSide)*g.BurstBytes + rate*inflation
+	bmax := g.BurstRateBps
+	if bmax <= 0 {
+		bmax = g.BandwidthBps
+	}
+	peak := float64(mSide) * bmax
+	if peak > ingressCap {
+		peak = ingressCap
+	}
+	seed := float64(mSide) * m.opts.MTUBytes
+	if seed > burst {
+		seed = burst
+	}
+	return contribution{Rate: rate, Burst: burst, Peak: peak, Seed: seed}
+}
+
+// spanOf returns the smallest scope containing all of a distribution's
+// VMs.
+func spanOf(dist distribution) scopeHeight {
+	if len(dist.perPod) > 1 {
+		return scopeDC
+	}
+	if len(dist.perRack) > 1 {
+		return scopePod
+	}
+	return scopeRack
+}
+
+// inflation returns the worst-case sum of queue capacities a tenant's
+// traffic may have crossed before reaching a port at the given level
+// and direction, given how far the tenant spans. A rack-local tenant's
+// traffic reaches its ToR down ports having crossed only the source
+// NIC; a datacenter-spanning tenant's may have crossed the full
+// up-and-down chain. Port capacities are uniform per level in the
+// tree, so representative ports suffice.
+func (m *Manager) inflation(span scopeHeight, level topology.Level, dir topology.Direction) float64 {
+	t := m.tree
+	nic := t.ServerUpPort(0).QueueCapacity()
+	rackUp := t.RackUpPort(0).QueueCapacity()
+	podUp := t.PodUpPort(0).QueueCapacity()
+	coreDown := t.CoreDownPort(0).QueueCapacity()
+	podDown := t.PodDownPort(0).QueueCapacity()
+	switch {
+	case level == topology.LevelServer && dir == topology.Up:
+		return 0
+	case level == topology.LevelRack && dir == topology.Up:
+		return nic
+	case level == topology.LevelPod && dir == topology.Up:
+		return nic + rackUp
+	case level == topology.LevelCore:
+		return nic + rackUp + podUp
+	case level == topology.LevelPod && dir == topology.Down:
+		if span >= scopeDC {
+			return nic + rackUp + podUp + coreDown
+		}
+		return nic + rackUp
+	default: // rack down port
+		switch span {
+		case scopeRack:
+			return nic
+		case scopePod:
+			return nic + rackUp + podDown
+		default:
+			return nic + rackUp + podUp + coreDown + podDown
+		}
+	}
+}
+
+// contributions computes the tenant's contribution at every directed
+// port its traffic crosses, given its VM distribution.
+func (m *Manager) contributions(spec tenant.Spec, dist distribution) map[int]contribution {
+	g := spec.Guarantee
+	n := dist.total
+	t := m.tree
+	link := t.Config().LinkBps
+	span := spanOf(dist)
+	out := make(map[int]contribution)
+
+	add := func(port *topology.Port, c contribution) {
+		if !c.isZero() {
+			out[port.ID] = c
+		}
+	}
+
+	// Server NIC up ports and ToR down ports.
+	for s, k := range dist.perServer {
+		r := t.RackOfServer(s)
+		// Up: k local VMs send to n−k remote ones; traffic enters the
+		// NIC from the local pacer, physically capped at line rate.
+		add(t.ServerUpPort(s), m.cutContribution(k, n, g, link, 0))
+		// Down: n−k remote VMs send toward s. Ingress to the ToR is
+		// capped by the links feeding it that carry tenant traffic:
+		// other in-rack servers' NICs plus the rack's downlink if the
+		// tenant extends beyond the rack.
+		otherServersInRack := serversWithVMs(dist, t, r) - 1
+		ingress := float64(otherServersInRack) * link
+		if dist.perRack[r] < n {
+			ingress += t.PodDownPort(r).RateBps
+		}
+		down := m.cutContribution(n-k, n, g, ingress, m.inflation(span, topology.LevelRack, topology.Down))
+		add(t.RackDownPort(s), down)
+	}
+
+	// Rack up and pod down ports, only if the tenant spans racks.
+	for r, k := range dist.perRack {
+		if k == n {
+			continue // nothing crosses the rack boundary
+		}
+		p := t.PodOfRack(r)
+		// Up: k VMs in rack send out; ingress = servers in rack with
+		// VMs.
+		ingressUp := float64(serversWithVMs(dist, t, r)) * link
+		add(t.RackUpPort(r), m.cutContribution(k, n, g, ingressUp, m.inflation(span, topology.LevelRack, topology.Up)))
+		// Down into rack r: from other racks in pod + core downlink if
+		// tenant spans pods.
+		ingressDown := 0.0
+		for r2 := range dist.perRack {
+			if r2 != r && t.PodOfRack(r2) == p {
+				ingressDown += t.RackUpPort(r2).RateBps
+			}
+		}
+		if dist.perPod[p] < n {
+			ingressDown += t.CoreDownPort(p).RateBps
+		}
+		add(t.PodDownPort(r), m.cutContribution(n-k, n, g, ingressDown, m.inflation(span, topology.LevelPod, topology.Down)))
+	}
+
+	// Pod up and core down ports, only if the tenant spans pods.
+	for p, k := range dist.perPod {
+		if k == n {
+			continue
+		}
+		ingressUp := 0.0
+		for r := range dist.perRack {
+			if t.PodOfRack(r) == p {
+				ingressUp += t.RackUpPort(r).RateBps
+			}
+		}
+		add(t.PodUpPort(p), m.cutContribution(k, n, g, ingressUp, m.inflation(span, topology.LevelPod, topology.Up)))
+		ingressDown := 0.0
+		for p2 := range dist.perPod {
+			if p2 != p {
+				ingressDown += t.PodUpPort(p2).RateBps
+			}
+		}
+		add(t.CoreDownPort(p), m.cutContribution(n-k, n, g, ingressDown, m.inflation(span, topology.LevelCore, topology.Down)))
+	}
+	return out
+}
+
+// serversWithVMs counts the distinct servers in rack r hosting tenant
+// VMs.
+func serversWithVMs(dist distribution, t *topology.Tree, r int) int {
+	lo, hi := t.ServersOfRack(r)
+	cnt := 0
+	for s := lo; s < hi; s++ {
+		if dist.perServer[s] > 0 {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+func faultDomainsOK(servers []int, domains int) bool {
+	if domains <= 1 {
+		return true
+	}
+	distinct := map[int]bool{}
+	for _, s := range servers {
+		distinct[s] = true
+	}
+	return len(distinct) >= domains
+}
+
+func rangeInts(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// VerifyInvariants exhaustively rechecks constraint 1 at every port by
+// recomputing contributions of all admitted tenants from scratch; it
+// returns an error naming the first violating port. Intended for tests
+// and post-hoc validation, not the hot path.
+func (m *Manager) VerifyInvariants() error {
+	fresh := make([]portState, m.tree.NumPorts())
+	for _, at := range m.admitted {
+		dist := newDistribution(m.tree, at.placement.Servers)
+		for pid, c := range m.contributions(at.placement.Spec, dist) {
+			fresh[pid].add(c)
+		}
+	}
+	for pid := range fresh {
+		port := m.tree.Port(pid)
+		got := m.ports[pid]
+		want := fresh[pid]
+		if math.Abs(got.Rate-want.Rate) > 1e-6 || math.Abs(got.Burst-want.Burst) > 1e-3 ||
+			math.Abs(got.Peak-want.Peak) > 1e-3 || got.tenants != want.tenants {
+			return fmt.Errorf("port %d state drift: have %+v want %+v", pid, got, want)
+		}
+		if want.tenants > 0 {
+			b := netcal.QueueBound(want.contribution.curve(), netcal.NewRateLatency(port.RateBps, 0))
+			if b > port.QueueCapacity()+1e-9 {
+				return fmt.Errorf("port %d violates constraint 1: bound %v > capacity %v", pid, b, port.QueueCapacity())
+			}
+		}
+	}
+	return nil
+}

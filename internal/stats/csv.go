@@ -1,0 +1,52 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// CSV helpers used by the benchmark harness to dump plottable series
+// for every figure.
+
+// WriteCSV writes a header and numeric rows.
+func WriteCSV(w io.Writer, header []string, rows [][]float64) error {
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = fmt.Sprintf("%g", v)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(parts, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSVFile writes a CSV to dir/name, creating dir if needed.
+func WriteCSVFile(dir, name string, header []string, rows [][]float64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return WriteCSV(f, header, rows)
+}
+
+// CDFRows converts a sample's CDF into CSV rows (value, fraction).
+func (s *Sample) CDFRows(points int) [][]float64 {
+	cdf := s.CDF(points)
+	rows := make([][]float64, len(cdf))
+	for i, pt := range cdf {
+		rows[i] = []float64{pt.Value, pt.Fraction}
+	}
+	return rows
+}

@@ -1,0 +1,373 @@
+package transport
+
+import (
+	"sort"
+
+	"repro/internal/netsim"
+)
+
+// Endpoint is one VM's transport stack.
+type Endpoint struct {
+	f      *Fabric
+	VMID   int
+	HostID int
+	opt    Options
+
+	conns map[int]*Conn     // by remote VM (sender side)
+	rcv   map[int]*rcvState // by remote VM (receiver side)
+
+	// OnMessage, if set, is invoked at the receiver exactly once per
+	// message, when the message's final byte has arrived in order.
+	OnMessage func(srcVM int, msgID uint64, size int)
+}
+
+// Options returns the endpoint's configuration.
+func (e *Endpoint) Options() Options { return e.opt }
+
+// Conn returns (creating if needed) the sender-side connection to a
+// remote VM.
+func (e *Endpoint) Conn(dstVM int) *Conn {
+	if c, ok := e.conns[dstVM]; ok {
+		return c
+	}
+	c := newConn(e, dstVM)
+	e.conns[dstVM] = c
+	return c
+}
+
+// SendMessage queues a message to dstVM; done (optional) fires at the
+// sender when the final byte is cumulatively acknowledged.
+func (e *Endpoint) SendMessage(dstVM, size int, done func(*Message)) *Message {
+	return e.Conn(dstVM).sendMessage(size, done)
+}
+
+// rcvState is per-sender receiver state: cumulative expected sequence
+// plus an out-of-order reassembly buffer.
+type rcvState struct {
+	rcvNxt int64
+	ooo    map[int64]int64 // seq -> end
+	// bytesIn counts in-order delivered payload bytes.
+	bytesIn int64
+	// pending tracks message frames whose completion has not yet been
+	// delivered to the application, keyed by message ID.
+	pending map[uint64]pendingMsg
+}
+
+// pendingMsg is a message frame awaiting receiver-side completion.
+type pendingMsg struct {
+	end  int64
+	size int
+}
+
+// Conn is the sender side of a one-directional byte stream carrying
+// messages.
+type Conn struct {
+	e     *Endpoint
+	dstVM int
+
+	// Sequence state (bytes).
+	sndUna, sndNxt, writeEnd int64
+
+	// Congestion control.
+	cwnd     float64
+	ssthresh float64
+	dupacks  int
+	inFR     bool  // fast recovery
+	recover  int64 // sndNxt when loss was detected
+
+	// DCTCP state.
+	alpha       float64
+	ackedBytes  float64
+	markedBytes float64
+	windowEnd   int64
+
+	// RTT/RTO.
+	srtt, rttvar float64 // ns
+	rto          int64
+	rtoArmed     bool
+	rtoGen       uint64
+	backoff      int64
+
+	// Messages in flight or queued.
+	msgs []*Message
+
+	// Stats.
+	RTOCount    int
+	FastRetx    int
+	BytesAcked  int64
+	SegmentsOut int64
+}
+
+func newConn(e *Endpoint, dstVM int) *Conn {
+	return &Conn{
+		e:        e,
+		dstVM:    dstVM,
+		cwnd:     float64(e.opt.InitCwndSegs * e.opt.MSS),
+		ssthresh: 1 << 30,
+		rto:      e.opt.MinRTONs,
+		backoff:  1,
+	}
+}
+
+func (c *Conn) sendMessage(size int, done func(*Message)) *Message {
+	f := c.e.f
+	f.nextMsgID++
+	m := &Message{
+		ID:        f.nextMsgID,
+		SrcVM:     c.e.VMID,
+		DstVM:     c.dstVM,
+		Size:      size,
+		Submitted: f.sim().Now(),
+		start:     c.writeEnd,
+		end:       c.writeEnd + int64(size),
+		done:      done,
+	}
+	c.writeEnd = m.end
+	c.msgs = append(c.msgs, m)
+	c.trySend()
+	return m
+}
+
+// flightSize returns unacknowledged bytes.
+func (c *Conn) flightSize() float64 { return float64(c.sndNxt - c.sndUna) }
+
+// trySend emits segments while the window allows.
+func (c *Conn) trySend() {
+	mss := int64(c.e.opt.MSS)
+	for c.sndNxt < c.writeEnd && c.flightSize()+float64(mss) <= c.cwnd+1e-9 {
+		n := c.writeEnd - c.sndNxt
+		if n > mss {
+			n = mss
+		}
+		c.emit(c.sndNxt, int(n))
+		c.sndNxt += n
+	}
+	c.armRTO()
+}
+
+// emit transmits bytes [seq, seq+n).
+func (c *Conn) emit(seq int64, n int) {
+	f := c.e.f
+	dst, ok := f.endpoints[c.dstVM]
+	if !ok {
+		return
+	}
+	seg := &segment{
+		peerVM: c.e.VMID,
+		seq:    seq,
+		length: n,
+		sentAt: f.sim().Now(),
+	}
+	// Attach framing for the message this segment belongs to.
+	for _, m := range c.msgs {
+		if seq >= m.start && seq < m.end {
+			seg.msgID = m.ID
+			seg.msgEnd = m.end
+			seg.msgSize = m.Size
+			break
+		}
+	}
+	f.send(c.e, &netsim.Packet{
+		Src:        c.e.HostID,
+		Dst:        dst.HostID,
+		SrcVM:      c.e.VMID,
+		DstVM:      c.dstVM,
+		Size:       n + HeaderBytes,
+		Prio:       c.e.opt.Prio,
+		ECNCapable: c.e.opt.Variant == DCTCP,
+		Payload:    seg,
+	})
+	c.SegmentsOut++
+}
+
+// onAck handles a cumulative acknowledgment.
+func (c *Conn) onAck(seg *segment) {
+	opt := c.e.opt
+	mss := float64(opt.MSS)
+	now := c.e.f.sim().Now()
+
+	// RTT sample from the echoed send time.
+	if seg.sentAt > 0 {
+		sample := float64(now - seg.sentAt)
+		if c.srtt == 0 {
+			c.srtt = sample
+			c.rttvar = sample / 2
+		} else {
+			d := sample - c.srtt
+			if d < 0 {
+				d = -d
+			}
+			c.rttvar = 0.75*c.rttvar + 0.25*d
+			c.srtt = 0.875*c.srtt + 0.125*sample
+		}
+		rto := int64(c.srtt + 4*c.rttvar)
+		if rto < opt.MinRTONs {
+			rto = opt.MinRTONs
+		}
+		c.rto = rto
+	}
+
+	// DCTCP mark accounting (on every ack, per the exact-echo spec).
+	if opt.Variant == DCTCP {
+		adv := seg.ackSeq - c.sndUna
+		if adv < 0 {
+			adv = 0
+		}
+		bytes := float64(adv)
+		if bytes == 0 {
+			bytes = mss // dupack approximates one segment's worth
+		}
+		c.ackedBytes += bytes
+		if seg.ece {
+			c.markedBytes += bytes
+		}
+		if c.sndUna >= c.windowEnd || seg.ackSeq >= c.windowEnd {
+			if c.ackedBytes > 0 {
+				frac := c.markedBytes / c.ackedBytes
+				g := opt.DCTCPg
+				c.alpha = (1-g)*c.alpha + g*frac
+				if frac > 0 {
+					c.cwnd = c.cwnd * (1 - c.alpha/2)
+					if c.cwnd < 2*mss {
+						c.cwnd = 2 * mss
+					}
+				}
+			}
+			c.ackedBytes, c.markedBytes = 0, 0
+			c.windowEnd = c.sndNxt
+		}
+	}
+
+	switch {
+	case seg.ackSeq > c.sndUna:
+		newly := seg.ackSeq - c.sndUna
+		c.sndUna = seg.ackSeq
+		c.BytesAcked += newly
+		c.dupacks = 0
+		c.backoff = 1
+		if c.inFR {
+			if c.sndUna >= c.recover {
+				// Full recovery.
+				c.inFR = false
+				c.cwnd = c.ssthresh
+			} else {
+				// NewReno partial ack: the next hole is lost too;
+				// retransmit it immediately and stay in recovery.
+				n := c.writeEnd - c.sndUna
+				if n > int64(opt.MSS) {
+					n = int64(opt.MSS)
+				}
+				if n > 0 {
+					c.emit(c.sndUna, int(n))
+				}
+			}
+		}
+		if !c.inFR {
+			if c.cwnd < c.ssthresh {
+				c.cwnd += float64(newly) // slow start
+			} else {
+				c.cwnd += mss * float64(newly) / c.cwnd // AIMD
+			}
+			if c.cwnd > opt.MaxCwndBytes {
+				c.cwnd = opt.MaxCwndBytes
+			}
+		}
+		c.completeMessages(now)
+		c.armRTO()
+	case seg.ackSeq == c.sndUna && c.sndNxt > c.sndUna:
+		c.dupacks++
+		if c.dupacks == 3 && !c.inFR {
+			// Fast retransmit.
+			c.FastRetx++
+			fs := c.flightSize()
+			c.ssthresh = fs / 2
+			if c.ssthresh < 2*mss {
+				c.ssthresh = 2 * mss
+			}
+			c.cwnd = c.ssthresh
+			c.inFR = true
+			c.recover = c.sndNxt
+			n := c.writeEnd - c.sndUna
+			if n > int64(opt.MSS) {
+				n = int64(opt.MSS)
+			}
+			if n > 0 {
+				c.emit(c.sndUna, int(n))
+			}
+		}
+	}
+	c.trySend()
+}
+
+// completeMessages fires callbacks for messages fully acknowledged.
+func (c *Conn) completeMessages(now int64) {
+	for len(c.msgs) > 0 && c.msgs[0].end <= c.sndUna {
+		m := c.msgs[0]
+		c.msgs = c.msgs[1:]
+		m.Completed = now
+		if m.done != nil {
+			m.done(m)
+		}
+	}
+}
+
+// armRTO (re)schedules the retransmission timer.
+func (c *Conn) armRTO() {
+	if c.sndUna >= c.sndNxt {
+		c.rtoArmed = false
+		return
+	}
+	c.rtoGen++
+	gen := c.rtoGen
+	c.rtoArmed = true
+	timeout := c.rto * c.backoff
+	if max := int64(4_000_000_000); timeout > max {
+		timeout = max
+	}
+	c.e.f.sim().After(timeout, func() {
+		if c.rtoGen != gen || !c.rtoArmed {
+			return
+		}
+		c.onRTO()
+	})
+}
+
+// onRTO handles a retransmission timeout: go-back-N.
+func (c *Conn) onRTO() {
+	if c.sndUna >= c.sndNxt {
+		return
+	}
+	mss := float64(c.e.opt.MSS)
+	c.RTOCount++
+	// Charge the timeout to every message overlapping the in-flight
+	// window.
+	for _, m := range c.msgs {
+		if m.start < c.sndNxt && m.end > c.sndUna {
+			m.RTOs++
+		}
+	}
+	fs := c.flightSize()
+	c.ssthresh = fs / 2
+	if c.ssthresh < 2*mss {
+		c.ssthresh = 2 * mss
+	}
+	c.cwnd = mss
+	c.sndNxt = c.sndUna
+	c.dupacks = 0
+	c.inFR = false
+	if c.backoff < 64 {
+		c.backoff *= 2
+	}
+	c.trySend()
+}
+
+// sortedOOO returns buffered out-of-order ranges in seq order (test
+// helper).
+func (r *rcvState) sortedOOO() []int64 {
+	keys := make([]int64, 0, len(r.ooo))
+	for k := range r.ooo {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

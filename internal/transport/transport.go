@@ -1,0 +1,197 @@
+// Package transport implements message-oriented reliable transports on
+// top of the netsim packet simulator: a Reno-style TCP (the paper's
+// baseline and the transport tenants run over Silo's pacer), DCTCP
+// (ECN marking + α-weighted window reduction), and HULL (DCTCP
+// congestion control over phantom-queue marking configured at the
+// switches).
+//
+// A Message is the paper's unit of application data (§2): transports
+// fragment messages into MSS-sized segments, deliver them reliably,
+// and record per-message latency and retransmission-timeout counts —
+// the quantities behind Figures 11–14 and Table 4.
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+)
+
+// Variant selects congestion-control behaviour.
+type Variant int
+
+// Transport variants.
+const (
+	// Reno is loss-based TCP with fast retransmit and go-back-N
+	// recovery on timeout.
+	Reno Variant = iota
+	// DCTCP adds ECN-fraction-proportional window reduction
+	// (Alizadeh et al., SIGCOMM 2010).
+	DCTCP
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Reno:
+		return "reno"
+	case DCTCP:
+		return "dctcp"
+	default:
+		return fmt.Sprintf("variant(%d)", int(v))
+	}
+}
+
+// Options configures an endpoint.
+type Options struct {
+	// Variant is the congestion controller.
+	Variant Variant
+	// MSS is the payload bytes per segment (wire adds HeaderBytes).
+	MSS int
+	// InitCwndSegs is the initial window in segments.
+	InitCwndSegs int
+	// MinRTONs floors the retransmission timeout. Stock OS stacks use
+	// 200-300 ms; DCTCP/HULL deployments use ~10 ms.
+	MinRTONs int64
+	// Paced routes egress through the host's Silo pacer.
+	Paced bool
+	// Prio is the 802.1q class for this endpoint's packets.
+	Prio int
+	// DCTCPg is DCTCP's EWMA gain (default 1/16).
+	DCTCPg float64
+	// MaxCwndBytes caps the congestion window, standing in for the
+	// socket send-buffer limit (default 1 MB).
+	MaxCwndBytes float64
+}
+
+func (o *Options) fill() {
+	if o.MSS <= 0 {
+		o.MSS = 1460
+	}
+	if o.InitCwndSegs <= 0 {
+		o.InitCwndSegs = 10
+	}
+	if o.MinRTONs <= 0 {
+		o.MinRTONs = 200_000_000 // 200 ms, stock TCP
+	}
+	if o.DCTCPg <= 0 {
+		o.DCTCPg = 1.0 / 16
+	}
+	if o.MaxCwndBytes <= 0 {
+		o.MaxCwndBytes = 1 << 20
+	}
+}
+
+// HeaderBytes is the per-segment wire overhead (Ethernet+IP+TCP).
+const HeaderBytes = 58
+
+// AckBytes is the wire size of a pure ack.
+const AckBytes = 64
+
+// Message is one application message.
+type Message struct {
+	ID        uint64
+	SrcVM     int
+	DstVM     int
+	Size      int
+	Submitted int64 // ns at submission
+	Completed int64 // ns when the last byte was acknowledged; 0 while in flight
+	RTOs      int   // retransmission timeouts suffered while in flight
+
+	start, end int64 // sequence range [start, end)
+	done       func(*Message)
+}
+
+// Latency returns the message latency in ns (valid after completion).
+func (m *Message) Latency() int64 { return m.Completed - m.Submitted }
+
+// Fabric wires transport endpoints to simulator hosts and demuxes
+// deliveries by destination VM.
+type Fabric struct {
+	nw        *netsim.Network
+	endpoints map[int]*Endpoint
+	nextMsgID uint64
+	nextPkt   uint64
+}
+
+// NewFabric attaches to a network, taking over every host's Deliver
+// hook.
+func NewFabric(nw *netsim.Network) *Fabric {
+	f := &Fabric{nw: nw, endpoints: make(map[int]*Endpoint)}
+	for _, h := range nw.Hosts {
+		h := h
+		h.Deliver = func(p *netsim.Packet) { f.deliver(p) }
+	}
+	return f
+}
+
+// Endpoint returns the endpoint registered for a VM, if any.
+func (f *Fabric) Endpoint(vmID int) (*Endpoint, bool) {
+	e, ok := f.endpoints[vmID]
+	return e, ok
+}
+
+// AddEndpoint registers a VM endpoint on a host.
+func (f *Fabric) AddEndpoint(vmID, hostID int, opt Options) *Endpoint {
+	opt.fill()
+	e := &Endpoint{
+		f:      f,
+		VMID:   vmID,
+		HostID: hostID,
+		opt:    opt,
+		conns:  make(map[int]*Conn),
+		rcv:    make(map[int]*rcvState),
+	}
+	f.endpoints[vmID] = e
+	return e
+}
+
+func (f *Fabric) sim() *netsim.Sim { return f.nw.Sim }
+
+// send injects a packet from an endpoint's host, paced or not.
+func (f *Fabric) send(e *Endpoint, p *netsim.Packet) {
+	f.nextPkt++
+	p.ID = f.nextPkt
+	h := f.nw.Hosts[e.HostID]
+	if e.opt.Paced && h.Paced() {
+		h.SendPaced(e.VMID, p)
+		return
+	}
+	h.Send(p)
+}
+
+// deliver demuxes an arriving packet to its destination endpoint.
+func (f *Fabric) deliver(p *netsim.Packet) {
+	e, ok := f.endpoints[p.DstVM]
+	if !ok {
+		return
+	}
+	seg, ok := p.Payload.(*segment)
+	if !ok {
+		return
+	}
+	if seg.isAck {
+		if c, ok2 := e.conns[seg.peerVM]; ok2 {
+			c.onAck(seg)
+		}
+		return
+	}
+	e.onData(p, seg)
+}
+
+// segment is the transport payload riding in netsim packets.
+type segment struct {
+	peerVM int // for data: sender VM; for ack: receiver VM (ack source)
+	seq    int64
+	length int
+	sentAt int64 // original transmission time, echoed for RTT sampling
+	isAck  bool
+	ackSeq int64
+	ece    bool
+
+	// Message framing: the message this segment belongs to, its final
+	// sequence offset and size, so the receiver can deliver complete
+	// messages to the application.
+	msgID   uint64
+	msgEnd  int64
+	msgSize int
+}

@@ -1,0 +1,136 @@
+package silo
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func testDatacenter(t *testing.T) *Datacenter {
+	t.Helper()
+	tree, err := NewDatacenter(DatacenterConfig{
+		Pods:           1,
+		RacksPerPod:    2,
+		ServersPerRack: 5,
+		SlotsPerServer: 4,
+		LinkBps:        Gbps(10),
+		BufferBytes:    312e3,
+		NICBufferBytes: 62.5e3,
+		RackOversub:    1,
+		PodOversub:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestRateHelpers(t *testing.T) {
+	if Gbps(10) != 1.25e9 {
+		t.Errorf("Gbps(10) = %v", Gbps(10))
+	}
+	if Mbps(250) != 31.25e6 {
+		t.Errorf("Mbps(250) = %v", Mbps(250))
+	}
+}
+
+func TestPublicAPILifecycle(t *testing.T) {
+	tree := testDatacenter(t)
+	ctl := NewController(tree, PlacementOptions{})
+	h, err := ctl.Admit(TenantSpec{
+		Name: "t", VMs: 8,
+		Guarantee: Guarantee{
+			BandwidthBps: Mbps(250), BurstBytes: 15e3,
+			DelayBound: 1e-3, BurstRateBps: Gbps(1),
+		},
+		FaultDomains: 2,
+	})
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	bound := ctl.MessageLatencyBound(h, 10e3)
+	if bound <= 1e-3 || math.IsInf(bound, 1) {
+		t.Errorf("bound = %v", bound)
+	}
+	if err := ctl.Release(h); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+}
+
+func TestPublicAPIRejection(t *testing.T) {
+	tree := testDatacenter(t)
+	ctl := NewController(tree, PlacementOptions{})
+	_, err := ctl.Admit(TenantSpec{
+		Name: "huge", VMs: tree.Slots() + 1,
+		Guarantee: Guarantee{BandwidthBps: Mbps(1)},
+	})
+	if !errors.Is(err, ErrRejected) {
+		t.Errorf("err = %v, want ErrRejected", err)
+	}
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	tree := testDatacenter(t)
+	ctl := NewController(tree, PlacementOptions{})
+	h, err := ctl.Admit(TenantSpec{
+		Name: "e2e", VMs: 5,
+		Guarantee: Guarantee{
+			BandwidthBps: Mbps(250), BurstBytes: 15e3,
+			DelayBound: 1e-3, BurstRateBps: Gbps(1),
+		},
+		FaultDomains: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := NewNetwork(tree, NetworkOptions{PropNs: 200})
+	fabric := NewFabric(nw)
+	eps := ctl.Deploy(nw, fabric, h, 100, TransportOptions{})
+	ctl.CoordinateHose(nw, h, AllToOne(5))
+	done := 0
+	for i := 1; i < 5; i++ {
+		eps[i].SendMessage(h.VMIDs[0], 10_000, func(m *Message) { done++ })
+	}
+	nw.Sim.Run(1e9)
+	if done != 4 {
+		t.Fatalf("completed %d of 4", done)
+	}
+	if nw.TotalDrops() != 0 {
+		t.Error("compliant burst dropped packets")
+	}
+}
+
+func TestPublicBaselinePlacers(t *testing.T) {
+	if NewOktopusPlacer(testDatacenter(t)).Name() != "oktopus" {
+		t.Error("oktopus placer")
+	}
+	if NewLocalityPlacer(testDatacenter(t)).Name() != "locality" {
+		t.Error("locality placer")
+	}
+}
+
+func TestPublicPacerPrimitives(t *testing.T) {
+	vm := NewPacedVM(1, PacerGuarantee{
+		BandwidthBps: Gbps(1), BurstBytes: 3000, BurstRateBps: Gbps(10), MTUBytes: 1518,
+	}, 0)
+	for i := 0; i < 10; i++ {
+		vm.Enqueue(0, 2, 1518, nil)
+	}
+	b := NewBatcher(Gbps(10))
+	batch := b.Build(0, []*PacedVM{vm})
+	if batch.DataPackets() == 0 {
+		t.Error("empty batch")
+	}
+	if batch.VoidBytes == 0 {
+		t.Error("a 1 Gbps flow on 10 GbE must produce voids")
+	}
+}
+
+func TestPatternHelpers(t *testing.T) {
+	if AllToOne(5).Edges() != 4 {
+		t.Error("AllToOne")
+	}
+	if AllToAll(4).Edges() != 12 {
+		t.Error("AllToAll")
+	}
+}
