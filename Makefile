@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all vet build test test-race bench-placement
+
+all: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-checks the packages with concurrent hot paths (the parallel
+# placement scope search and the netcal primitives it leans on).
+test-race:
+	$(GO) test -race ./internal/placement/... ./internal/netcal/...
+
+# Reproduces the placement-at-scale numbers recorded in
+# bench_all_output.txt (see README.md "Placement at scale").
+bench-placement:
+	$(GO) test -run '^$$' -bench 'BenchmarkPlacement100K|BenchmarkPlaceRemoveChurn|BenchmarkQueueBound$$' -benchmem .

@@ -51,6 +51,7 @@ func BenchmarkTable1Lateness(b *testing.B) {
 
 // BenchmarkFig5Placement regenerates the Figure-5 placement example.
 func BenchmarkFig5Placement(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.RunFigure5()
 		if err != nil {
@@ -111,6 +112,7 @@ func BenchmarkFig12ClassA(b *testing.B) {
 // BenchmarkFig15Admittance regenerates Figure 15: admitted tenants at
 // 75% and 90% occupancy under the three placers.
 func BenchmarkFig15Admittance(b *testing.B) {
+	b.ReportAllocs()
 	p := experiments.DefaultScaleParams()
 	p.DurationSec = 400
 	for i := 0; i < b.N; i++ {
@@ -132,6 +134,7 @@ func BenchmarkFig15Admittance(b *testing.B) {
 // BenchmarkFig16Utilization regenerates Figure 16a: network
 // utilization vs occupancy.
 func BenchmarkFig16Utilization(b *testing.B) {
+	b.ReportAllocs()
 	p := experiments.DefaultScaleParams()
 	p.DurationSec = 400
 	for i := 0; i < b.N; i++ {
@@ -151,6 +154,7 @@ func BenchmarkFig16Utilization(b *testing.B) {
 // per-request placement latency on a 100,000-host datacenter (paper:
 // max 1.15 s over 100 K requests).
 func BenchmarkPlacement100K(b *testing.B) {
+	b.ReportAllocs()
 	p := experiments.DefaultPlacementBenchParams()
 	p.Requests = 100
 	for i := 0; i < b.N; i++ {
@@ -163,11 +167,82 @@ func BenchmarkPlacement100K(b *testing.B) {
 	}
 }
 
+// BenchmarkPlaceRemoveChurn measures steady-state admission cost:
+// interleaved Place/Remove on a warm datacenter, exercising the
+// incremental per-port state and cached queue bounds that churn keeps
+// invalidating.
+func BenchmarkPlaceRemoveChurn(b *testing.B) {
+	b.ReportAllocs()
+	tree, err := topology.New(topology.Config{
+		Pods: 4, RacksPerPod: 10, ServersPerRack: 40, SlotsPerServer: 8,
+		LinkBps: Gbps(10), BufferBytes: 312e3, NICBufferBytes: 62.5e3,
+		RackOversub: 5, PodOversub: 5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := placement.NewManager(tree, placement.Options{})
+	spec := func(id int) tenant.Spec {
+		s := tenant.Spec{
+			ID: id, Name: "churn", VMs: 8 + id%12, FaultDomains: 2,
+			Guarantee: tenant.Guarantee{
+				BandwidthBps: Mbps(250), BurstBytes: 15e3,
+				DelayBound: 1e-3, BurstRateBps: Gbps(1),
+			},
+		}
+		if id%2 == 1 {
+			s.Guarantee = tenant.Guarantee{
+				BandwidthBps: Gbps(2), BurstBytes: 1.5e3, BurstRateBps: Gbps(2),
+			}
+		}
+		return s
+	}
+	// Warm to steady state: admit until the first rejection.
+	live := []int{}
+	nextID := 1
+	for {
+		if _, err := m.Place(spec(nextID)); err != nil {
+			break
+		}
+		live = append(live, nextID)
+		nextID++
+	}
+	if len(live) < 10 {
+		b.Fatalf("warmup admitted only %d tenants", len(live))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		victim := live[i%len(live)]
+		if err := m.Remove(victim); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Place(spec(nextID)); err == nil {
+			live[i%len(live)] = nextID
+		} else if _, err := m.Place(spec(victim)); err == nil {
+			// The next spec shape did not fit the freed hole; put a
+			// same-shape tenant back so the steady state holds.
+			live[i%len(live)] = victim
+		} else {
+			live[i%len(live)] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if len(live) == 0 {
+				b.Fatal("churn drained the admitted set")
+			}
+		}
+		nextID++
+	}
+	b.StopTimer()
+	if err := m.VerifyInvariants(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // Ablation benchmarks (DESIGN.md §5).
 
 // BenchmarkAblationHose compares admitted tenants with Silo's
 // hose-model curve tightening versus naive aggregation.
 func BenchmarkAblationHose(b *testing.B) {
+	b.ReportAllocs()
 	mkTree := func() *topology.Tree {
 		tree, err := topology.New(topology.Config{
 			Pods: 2, RacksPerPod: 4, ServersPerRack: 10, SlotsPerServer: 4,
@@ -205,6 +280,7 @@ func BenchmarkAblationHose(b *testing.B) {
 // BenchmarkAblationDelayCheck compares the paper's queue-capacity
 // delay check against the live-queue-bound variant.
 func BenchmarkAblationDelayCheck(b *testing.B) {
+	b.ReportAllocs()
 	mkTree := func() *topology.Tree {
 		tree, err := topology.New(topology.Config{
 			Pods: 1, RacksPerPod: 4, ServersPerRack: 10, SlotsPerServer: 4,
@@ -318,6 +394,7 @@ func BenchmarkPacerEnqueue(b *testing.B) {
 // BenchmarkQueueBound measures the network-calculus hot path used per
 // admission check.
 func BenchmarkQueueBound(b *testing.B) {
+	b.ReportAllocs()
 	arr := netcal.NewRateCapped(Gbps(6), 600e3, Gbps(20), 12e3)
 	srv := netcal.NewRateLatency(Gbps(10), 0)
 	b.ResetTimer()

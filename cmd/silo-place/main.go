@@ -32,6 +32,7 @@ func main() {
 		bufKB    = flag.Float64("buf-kb", 312, "switch buffer per port")
 		oversub  = flag.Float64("oversub", 5, "oversubscription per level")
 		algo     = flag.String("algo", "silo", "placement algorithm (silo|oktopus|locality)")
+		workers  = flag.Int("workers", 0, "scope-search goroutines for silo (0 = GOMAXPROCS, 1 = serial; decisions are identical at any setting)")
 
 		tenants = flag.Int("tenants", 20, "number of tenant requests")
 		vms     = flag.Int("vms", 16, "VMs per tenant")
@@ -63,7 +64,7 @@ func main() {
 	var placer placement.Algorithm
 	switch *algo {
 	case "silo":
-		placer = placement.NewManager(tree, placement.Options{})
+		placer = placement.NewManager(tree, placement.Options{Workers: *workers})
 	case "oktopus":
 		placer = placement.NewOktopus(tree)
 	case "locality":

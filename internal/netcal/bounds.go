@@ -16,6 +16,13 @@ func QueueBound(a, s Curve) float64 {
 	if a.LongTermRate() > s.LongTermRate() {
 		return math.Inf(1)
 	}
+	// Fast path: a zero-latency rate service (the only service curve the
+	// placement manager builds) has a single breakpoint at the origin,
+	// so the horizontal deviation is attained at a breakpoint of the
+	// arrival curve and no candidate enumeration is needed.
+	if len(s.segs) == 1 && s.segs[0].X == 0 && s.segs[0].Y == 0 {
+		return boundAgainstRate(a, s.segs[0].Rate)
+	}
 	// The maximum horizontal deviation of piecewise-linear curves is
 	// attained at a breakpoint of one of them: for each breakpoint
 	// (t, y) of a, the delay is the time until s reaches y; for each
@@ -43,6 +50,90 @@ func QueueBound(a, s Curve) float64 {
 	}
 	if math.IsInf(best, 1) {
 		return best
+	}
+	if best < 0 {
+		best = 0
+	}
+	return best
+}
+
+// boundAgainstRate returns the maximum horizontal deviation between
+// arrival curve a and the pure-rate service β(t) = R·t, visiting only
+// a's breakpoints and allocating nothing. The arithmetic matches the
+// general QueueBound path (timeToReach over a single {0,0,R} segment)
+// float for float.
+func boundAgainstRate(a Curve, R float64) float64 {
+	best := 0.0
+	for _, seg := range a.segs {
+		ts := 0.0
+		if seg.Y > 0 {
+			if R <= 0 {
+				return math.Inf(1)
+			}
+			ts = seg.Y / R
+		}
+		if d := ts - seg.X; d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// QueueBoundTB returns QueueBound for the token-bucket arrival curve
+// A(t) = rate·t + burst against the zero-latency rate service
+// β(t) = svcRate·t, in closed form with no allocation. Results are
+// float-for-float identical to QueueBound(NewTokenBucket(rate, burst),
+// NewRateLatency(svcRate, 0)), except that a (numerically) negative
+// burst — float residue an aggregate may carry after removals — clamps
+// to a zero bound instead of panicking in the curve constructor.
+func QueueBoundTB(rate, burst, svcRate float64) float64 {
+	if rate == 0 && burst == 0 {
+		return 0
+	}
+	if rate > svcRate {
+		return math.Inf(1)
+	}
+	if burst <= 0 {
+		return 0
+	}
+	if svcRate <= 0 {
+		return math.Inf(1)
+	}
+	return burst / svcRate
+}
+
+// QueueBoundTwoPiece returns QueueBound for the two-piece rate-capped
+// arrival curve A′(t) = min(peak·t + seed, rate·t + burst) against the
+// zero-latency rate service β(t) = svcRate·t, in closed form with no
+// allocation. The degenerate cases (peak <= rate, burst <= seed) fall
+// back to the token bucket exactly as NewRateCapped does, so results
+// are float-for-float identical to materializing the curves and
+// calling QueueBound. This is the placement manager's admission-check
+// hot path: it runs millions of times per rejected tenant request at
+// datacenter scale.
+func QueueBoundTwoPiece(rate, burst, peak, seed, svcRate float64) float64 {
+	if peak <= rate || burst <= seed {
+		return QueueBoundTB(rate, burst, svcRate)
+	}
+	if rate > svcRate {
+		return math.Inf(1)
+	}
+	if svcRate <= 0 {
+		// Arrival is nonzero (peak > rate >= 0) but the port serves
+		// nothing: the queue never drains.
+		return math.Inf(1)
+	}
+	// Breakpoints of A′: (0, seed) and the knee (tx, yx) where the peak
+	// segment meets the token bucket — the same expressions NewRateCapped
+	// stores.
+	tx := (burst - seed) / (peak - rate)
+	yx := seed + peak*tx
+	best := 0.0
+	if seed > 0 {
+		best = seed / svcRate
+	}
+	if d := yx/svcRate - tx; d > best {
+		best = d
 	}
 	if best < 0 {
 		best = 0

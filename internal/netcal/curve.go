@@ -110,6 +110,54 @@ func NewRateLatency(rate, latency float64) Curve {
 	}}
 }
 
+// Arena is a bump allocator for Segment slices, amortizing the cost of
+// building many short-lived curves (e.g. re-materializing every
+// admitted tenant's contribution during an invariant sweep). Curves
+// built from an arena alias its backing storage and remain valid until
+// the next Reset; the arena is not safe for concurrent use.
+type Arena struct {
+	buf []Segment
+}
+
+// Reset discards all curves built from the arena, retaining capacity.
+func (a *Arena) Reset() { a.buf = a.buf[:0] }
+
+// take returns n fresh segments backed by the arena.
+func (a *Arena) take(n int) []Segment {
+	if cap(a.buf)-len(a.buf) < n {
+		grown := make([]Segment, len(a.buf), 2*cap(a.buf)+n+16)
+		copy(grown, a.buf)
+		// Previously built curves keep referencing the old backing
+		// array, which stays alive and immutable until they are dropped.
+		a.buf = grown
+	}
+	s := a.buf[len(a.buf) : len(a.buf)+n]
+	a.buf = a.buf[:len(a.buf)+n]
+	return s
+}
+
+// TokenBucket is NewTokenBucket backed by the arena.
+func (a *Arena) TokenBucket(rate, burst float64) Curve {
+	if rate < 0 || burst < 0 {
+		panic("netcal: negative rate or burst")
+	}
+	segs := a.take(1)
+	segs[0] = Segment{X: 0, Y: burst, Rate: rate}
+	return Curve{segs: segs}
+}
+
+// RateCapped is NewRateCapped backed by the arena.
+func (a *Arena) RateCapped(rate, burst, peak, seed float64) Curve {
+	if peak <= rate || burst <= seed {
+		return a.TokenBucket(rate, burst)
+	}
+	tx := (burst - seed) / (peak - rate)
+	segs := a.take(2)
+	segs[0] = Segment{X: 0, Y: seed, Rate: peak}
+	segs[1] = Segment{X: tx, Y: seed + peak*tx, Rate: rate}
+	return Curve{segs: segs}
+}
+
 // Zero reports whether the curve is identically zero.
 func (c Curve) Zero() bool {
 	for _, s := range c.segs {

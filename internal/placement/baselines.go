@@ -24,15 +24,27 @@ import (
 // the fullest single server first, then racks, pods, and finally the
 // whole datacenter in index order. Returns the per-VM server list or
 // nil. Used by Locality and by Silo's best-effort path.
-func packGreedy(tree *topology.Tree, freeSlots []int, n, faultDomains int) []int {
+//
+// freeSlots is the per-server capacity to pack into; ix, when non-nil,
+// supplies rack/pod/datacenter free-slot sums over the *raw* slots for
+// O(1) scope skipping. freeSlots may be tighter than ix's view (e.g.
+// CPU/memory-capped), which only makes the skip conservative: a scope
+// ix rules out can never fit.
+func packGreedy(tree *topology.Tree, freeSlots []int, ix *slotIndex, n, faultDomains int) []int {
 	if faultDomains <= 1 {
-		for s := range freeSlots {
-			if freeSlots[s] >= n {
-				out := make([]int, n)
-				for i := range out {
-					out[i] = s
+		for r := 0; r < tree.Racks(); r++ {
+			if ix != nil && ix.freeByRack[r] < n {
+				continue
+			}
+			lo, hi := tree.ServersOfRack(r)
+			for s := lo; s < hi; s++ {
+				if freeSlots[s] >= n {
+					out := make([]int, n)
+					for i := range out {
+						out[i] = s
+					}
+					return out
 				}
-				return out
 			}
 		}
 	}
@@ -66,12 +78,18 @@ func packGreedy(tree *topology.Tree, freeSlots []int, n, faultDomains int) []int
 		return out
 	}
 	for r := 0; r < tree.Racks(); r++ {
+		if ix != nil && ix.freeByRack[r] < n {
+			continue
+		}
 		lo, hi := tree.ServersOfRack(r)
 		if out := tryRange(lo, hi); out != nil {
 			return out
 		}
 	}
 	for p := 0; p < tree.Pods(); p++ {
+		if ix != nil && ix.freeByPod[p] < n {
+			continue
+		}
 		rlo, rhi := tree.RacksOfPod(p)
 		slo, _ := tree.ServersOfRack(rlo)
 		_, shi := tree.ServersOfRack(rhi - 1)
@@ -79,14 +97,17 @@ func packGreedy(tree *topology.Tree, freeSlots []int, n, faultDomains int) []int
 			return out
 		}
 	}
+	if ix != nil && ix.totalFree < n {
+		return nil
+	}
 	return tryRange(0, tree.Servers())
 }
 
 // Locality is the locality-aware greedy placer.
 type Locality struct {
-	tree      *topology.Tree
-	freeSlots []int
-	admitted  map[int]*tenant.Placement
+	tree     *topology.Tree
+	ix       *slotIndex
+	admitted map[int]*tenant.Placement
 
 	acceptedCount int
 	rejectedCount int
@@ -94,15 +115,11 @@ type Locality struct {
 
 // NewLocality returns a locality-aware placer over the tree.
 func NewLocality(tree *topology.Tree) *Locality {
-	l := &Locality{
-		tree:      tree,
-		freeSlots: make([]int, tree.Servers()),
-		admitted:  make(map[int]*tenant.Placement),
+	return &Locality{
+		tree:     tree,
+		ix:       newSlotIndex(tree),
+		admitted: make(map[int]*tenant.Placement),
 	}
-	for i := range l.freeSlots {
-		l.freeSlots[i] = tree.Config().SlotsPerServer
-	}
-	return l
 }
 
 // Name implements Algorithm.
@@ -122,13 +139,13 @@ func (l *Locality) Place(spec tenant.Spec) (*tenant.Placement, error) {
 	if _, dup := l.admitted[spec.ID]; dup {
 		return nil, fmt.Errorf("placement: tenant %d already admitted", spec.ID)
 	}
-	servers := packGreedy(l.tree, l.freeSlots, spec.VMs, spec.FaultDomains)
+	servers := packGreedy(l.tree, l.ix.freeSlots, l.ix, spec.VMs, spec.FaultDomains)
 	if servers == nil {
 		l.rejectedCount++
 		return nil, fmt.Errorf("%w: tenant %q (%d VMs): no free slots", ErrRejected, spec.Name, spec.VMs)
 	}
 	for _, s := range servers {
-		l.freeSlots[s]--
+		l.ix.take(s)
 	}
 	pl := &tenant.Placement{Spec: spec, Servers: servers}
 	l.admitted[spec.ID] = pl
@@ -143,7 +160,7 @@ func (l *Locality) Remove(id int) error {
 		return fmt.Errorf("%w: id %d", ErrUnknownTenant, id)
 	}
 	for _, s := range pl.Servers {
-		l.freeSlots[s]++
+		l.ix.free(s)
 	}
 	delete(l.admitted, id)
 	return nil
@@ -153,10 +170,10 @@ func (l *Locality) Remove(id int) error {
 // bandwidth per directed port and admits a tenant iff every cut's
 // hose bandwidth fits.
 type Oktopus struct {
-	tree      *topology.Tree
-	freeSlots []int
-	residual  []float64 // bytes/sec left per directed port
-	admitted  map[int]*oktoTenant
+	tree     *topology.Tree
+	ix       *slotIndex
+	residual []float64 // bytes/sec left per directed port
+	admitted map[int]*oktoTenant
 
 	acceptedCount int
 	rejectedCount int
@@ -170,13 +187,10 @@ type oktoTenant struct {
 // NewOktopus returns an Oktopus placer over the tree.
 func NewOktopus(tree *topology.Tree) *Oktopus {
 	o := &Oktopus{
-		tree:      tree,
-		freeSlots: make([]int, tree.Servers()),
-		residual:  make([]float64, tree.NumPorts()),
-		admitted:  make(map[int]*oktoTenant),
-	}
-	for i := range o.freeSlots {
-		o.freeSlots[i] = tree.Config().SlotsPerServer
+		tree:     tree,
+		ix:       newSlotIndex(tree),
+		residual: make([]float64, tree.NumPorts()),
+		admitted: make(map[int]*oktoTenant),
 	}
 	for i := range o.residual {
 		o.residual[i] = tree.Port(i).RateBps
@@ -205,13 +219,13 @@ func (o *Oktopus) Place(spec tenant.Spec) (*tenant.Placement, error) {
 		return nil, fmt.Errorf("placement: tenant %d already admitted", spec.ID)
 	}
 	if spec.Class == tenant.ClassBestEffort {
-		servers := packGreedy(o.tree, o.freeSlots, spec.VMs, spec.FaultDomains)
+		servers := packGreedy(o.tree, o.ix.freeSlots, o.ix, spec.VMs, spec.FaultDomains)
 		if servers == nil {
 			o.rejectedCount++
 			return nil, fmt.Errorf("%w: best-effort tenant %q", ErrRejected, spec.Name)
 		}
 		for _, s := range servers {
-			o.freeSlots[s]--
+			o.ix.take(s)
 		}
 		pl := &tenant.Placement{Spec: spec, Servers: servers}
 		o.admitted[spec.ID] = &oktoTenant{placement: pl, demand: map[int]float64{}}
@@ -230,7 +244,7 @@ func (o *Oktopus) Place(spec tenant.Spec) (*tenant.Placement, error) {
 		o.residual[pid] -= bw
 	}
 	for _, s := range servers {
-		o.freeSlots[s]--
+		o.ix.take(s)
 	}
 	o.admitted[spec.ID] = &oktoTenant{placement: pl, demand: demand}
 	o.acceptedCount++
@@ -247,7 +261,7 @@ func (o *Oktopus) Remove(id int) error {
 		o.residual[pid] += bw
 	}
 	for _, s := range at.placement.Servers {
-		o.freeSlots[s]++
+		o.ix.free(s)
 	}
 	delete(o.admitted, id)
 	return nil
@@ -255,13 +269,19 @@ func (o *Oktopus) Remove(id int) error {
 
 func (o *Oktopus) findPlacement(spec tenant.Spec) []int {
 	if spec.FaultDomains <= 1 {
-		for s := 0; s < o.tree.Servers(); s++ {
-			if o.freeSlots[s] >= spec.VMs {
-				out := make([]int, spec.VMs)
-				for i := range out {
-					out[i] = s
+		for r := 0; r < o.tree.Racks(); r++ {
+			if o.ix.freeByRack[r] < spec.VMs {
+				continue
+			}
+			lo, hi := o.tree.ServersOfRack(r)
+			for s := lo; s < hi; s++ {
+				if o.ix.freeSlots[s] >= spec.VMs {
+					out := make([]int, spec.VMs)
+					for i := range out {
+						out[i] = s
+					}
+					return out
 				}
-				return out
 			}
 		}
 	}
@@ -276,18 +296,27 @@ func (o *Oktopus) findPlacement(spec tenant.Spec) []int {
 		return servers
 	}
 	for r := 0; r < o.tree.Racks(); r++ {
+		if o.ix.freeByRack[r] < spec.VMs {
+			continue
+		}
 		lo, hi := o.tree.ServersOfRack(r)
 		if out := try(lo, hi); out != nil {
 			return out
 		}
 	}
 	for p := 0; p < o.tree.Pods(); p++ {
+		if o.ix.freeByPod[p] < spec.VMs {
+			continue
+		}
 		rlo, rhi := o.tree.RacksOfPod(p)
 		slo, _ := o.tree.ServersOfRack(rlo)
 		_, shi := o.tree.ServersOfRack(rhi - 1)
 		if out := try(slo, shi); out != nil {
 			return out
 		}
+	}
+	if o.ix.totalFree < spec.VMs {
+		return nil
 	}
 	return try(0, o.tree.Servers())
 }
@@ -302,7 +331,7 @@ func (o *Oktopus) packBandwidth(spec tenant.Spec, lo, hi int) []int {
 	servers := make([]int, 0, n)
 	left := n
 	for s := lo; s < hi && left > 0; s++ {
-		maxK := o.freeSlots[s]
+		maxK := o.ix.freeSlots[s]
 		if maxK > maxPer {
 			maxK = maxPer
 		}

@@ -21,6 +21,8 @@
 package placement
 
 import (
+	"sort"
+
 	"repro/internal/netcal"
 	"repro/internal/topology"
 )
@@ -45,6 +47,16 @@ func (c contribution) curve() netcal.Curve {
 		return netcal.NewTokenBucket(c.Rate, c.Burst)
 	}
 	return netcal.NewRateCapped(c.Rate, c.Burst, c.Peak, c.Seed)
+}
+
+// curveIn materializes the contribution with segments drawn from the
+// arena, for bulk re-materialization (reference path, invariant
+// sweeps) without per-curve allocations.
+func (c contribution) curveIn(ar *netcal.Arena) netcal.Curve {
+	if c.Peak <= 0 {
+		return ar.TokenBucket(c.Rate, c.Burst)
+	}
+	return ar.RateCapped(c.Rate, c.Burst, c.Peak, c.Seed)
 }
 
 // portState is the aggregate of all admitted contributions at a port.
@@ -74,7 +86,10 @@ func (p *portState) remove(c contribution) {
 }
 
 // queueBound returns the port's worst-case queuing delay in seconds
-// under the aggregate state plus an optional extra contribution.
+// under the aggregate state plus an optional extra contribution, by
+// materializing curves and running the generic network-calculus bound.
+// This is the reference path; the admission hot path uses
+// queueBoundFast, which produces identical values in closed form.
 func queueBound(port *topology.Port, st portState, extra contribution) float64 {
 	total := st.contribution
 	total.Rate += extra.Rate
@@ -84,7 +99,103 @@ func queueBound(port *topology.Port, st portState, extra contribution) float64 {
 	if total.isZero() {
 		return 0
 	}
-	return netcal.QueueBound(contribution(total).curve(), netcal.NewRateLatency(port.RateBps, 0))
+	return netcal.QueueBound(total.curve(), netcal.NewRateLatency(port.RateBps, 0))
+}
+
+// queueBoundFast is queueBound without curve materialization: the
+// aggregate-plus-extra scalars feed the closed-form two-piece bound
+// directly. svcRate is the port's line rate. Allocation-free and safe
+// for concurrent use over immutable state (st is only read).
+func queueBoundFast(svcRate float64, st *portState, extra contribution) float64 {
+	total := st.contribution
+	total.Rate += extra.Rate
+	total.Burst += extra.Burst
+	total.Peak += extra.Peak
+	total.Seed += extra.Seed
+	if total.isZero() {
+		return 0
+	}
+	if total.Peak <= 0 {
+		return netcal.QueueBoundTB(total.Rate, total.Burst, svcRate)
+	}
+	return netcal.QueueBoundTwoPiece(total.Rate, total.Burst, total.Peak, total.Seed, svcRate)
+}
+
+// layout is a compact summary of where a candidate placement's VMs sit
+// relative to the tree: distinct servers in ascending order with VM
+// counts, rolled up per rack and pod. It replaces the map-based
+// distribution on Silo's admission hot path, where layoutValid runs
+// for every candidate scope and map traffic dominated the profile.
+type layout struct {
+	total int
+
+	servers    []int // distinct hosting servers, ascending
+	serverCnt  []int // VMs on servers[i]
+	serverRack []int // index into racks for servers[i]
+
+	racks   []int // distinct racks, ascending
+	rackCnt []int // VMs in racks[i]
+	rackSrv []int // distinct hosting servers in racks[i]
+	rackPod []int // index into pods for racks[i]
+
+	pods     []int // distinct pods, ascending
+	podCnt   []int // VMs in pods[i]
+	podRacks []int // distinct hosting racks in pods[i]
+}
+
+func newLayout(tree *topology.Tree, servers []int) layout {
+	sorted := servers
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] < sorted[i-1] {
+			sorted = make([]int, len(servers))
+			copy(sorted, servers)
+			sort.Ints(sorted)
+			break
+		}
+	}
+	lay := layout{total: len(servers)}
+	for i := 0; i < len(sorted); {
+		s := sorted[i]
+		j := i
+		for j < len(sorted) && sorted[j] == s {
+			j++
+		}
+		cnt := j - i
+		r := tree.RackOfServer(s)
+		if len(lay.racks) == 0 || lay.racks[len(lay.racks)-1] != r {
+			p := tree.PodOfRack(r)
+			if len(lay.pods) == 0 || lay.pods[len(lay.pods)-1] != p {
+				lay.pods = append(lay.pods, p)
+				lay.podCnt = append(lay.podCnt, 0)
+				lay.podRacks = append(lay.podRacks, 0)
+			}
+			lay.racks = append(lay.racks, r)
+			lay.rackCnt = append(lay.rackCnt, 0)
+			lay.rackSrv = append(lay.rackSrv, 0)
+			lay.rackPod = append(lay.rackPod, len(lay.pods)-1)
+			lay.podRacks[len(lay.pods)-1]++
+		}
+		ri := len(lay.racks) - 1
+		lay.servers = append(lay.servers, s)
+		lay.serverCnt = append(lay.serverCnt, cnt)
+		lay.serverRack = append(lay.serverRack, ri)
+		lay.rackCnt[ri] += cnt
+		lay.rackSrv[ri]++
+		lay.podCnt[lay.rackPod[ri]] += cnt
+		i = j
+	}
+	return lay
+}
+
+// span returns the smallest scope containing all of the layout's VMs.
+func (lay *layout) span() scopeHeight {
+	if len(lay.pods) > 1 {
+		return scopeDC
+	}
+	if len(lay.racks) > 1 {
+		return scopePod
+	}
+	return scopeRack
 }
 
 // distribution summarizes where a tenant's VMs sit relative to the

@@ -4,6 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/netcal"
 	"repro/internal/tenant"
@@ -45,25 +48,62 @@ type Options struct {
 	// instead of queue capacities (ablation; the paper argues
 	// capacities keep admission composable under churn, §4.2.3).
 	DelayCheckUsesBound bool
+	// Workers caps the goroutines the scope search fans out across
+	// independent rack/pod candidates (and across servers when capping
+	// a datacenter-wide pack). 0 means runtime.GOMAXPROCS(0); 1
+	// restores the fully serial search. Decisions are identical at any
+	// setting: candidate scopes are evaluated without side effects and
+	// the lowest-index success wins, matching serial first-fit order.
+	Workers int
+	// NoFastPath disables the closed-form bound evaluation, the
+	// memoized per-(k, span) contributions, the port-headroom scope
+	// skipping and the parallel search, restoring the reference
+	// curve-materializing admission path. It exists so tests can
+	// replay identical request sequences through both paths and prove
+	// decision equivalence. It forces Workers to 1.
+	NoFastPath bool
 }
 
 // Manager is Silo's placement manager (admission control + VM
 // placement).
 type Manager struct {
-	tree *topology.Tree
-	opts Options
+	tree    *topology.Tree
+	opts    Options
+	workers int
 
-	freeSlots []int
-	// freeByRack and freeByPod cache slot sums so the scope search can
-	// skip full racks/pods in O(1) (placement on 100 K hosts is
-	// dominated by scanning otherwise).
-	freeByRack []int
-	freeByPod  []int
+	// ix caches free-slot sums per server/rack/pod/datacenter so the
+	// scope search skips exhausted scopes in O(1) (placement on 100 K
+	// hosts is dominated by scanning otherwise).
+	ix *slotIndex
 	// freeCPU and freeMem are per-server non-network capacities (nil
 	// when the topology declares none).
-	freeCPU  []float64
-	freeMem  []float64
-	ports    []portState
+	freeCPU []float64
+	freeMem []float64
+
+	// ports holds the incrementally maintained aggregate arrival-curve
+	// state (scalar rate/burst/peak/seed sums) per directed port;
+	// Place adds a tenant's contributions, Remove subtracts them, and
+	// admission never resums the admitted set.
+	ports []portState
+	// portRate and portCap mirror each port's line rate and queue
+	// capacity into flat arrays so the admission hot path indexes them
+	// without touching topology Port structs.
+	portRate []float64
+	portCap  []float64
+	// bounds caches each port's current queue bound, updated on every
+	// Place/Remove that touches the port (closed form, O(1) per port).
+	// Unused when NoFastPath is set.
+	bounds []float64
+	// head summarizes per-rack/per-pod port rate headroom for sound
+	// scope skipping; revalidated lazily via dirty marks.
+	head *headroomIndex
+
+	// upLo/upHi and downLo/downHi are the port-ID ranges of the NIC-up
+	// and ToR-down families, for mapping a touched port back to its
+	// rack.
+	upLo, upHi     int
+	downLo, downHi int
+
 	admitted map[int]*admittedTenant
 
 	acceptedCount int
@@ -84,18 +124,30 @@ func NewManager(tree *topology.Tree, opts Options) *Manager {
 		opts.MTUBytes = 1500
 	}
 	m := &Manager{
-		tree:       tree,
-		opts:       opts,
-		freeSlots:  make([]int, tree.Servers()),
-		freeByRack: make([]int, tree.Racks()),
-		freeByPod:  make([]int, tree.Pods()),
-		ports:      make([]portState, tree.NumPorts()),
-		admitted:   make(map[int]*admittedTenant),
+		tree:     tree,
+		opts:     opts,
+		ix:       newSlotIndex(tree),
+		ports:    make([]portState, tree.NumPorts()),
+		portRate: make([]float64, tree.NumPorts()),
+		portCap:  make([]float64, tree.NumPorts()),
+		bounds:   make([]float64, tree.NumPorts()),
+		head:     newHeadroomIndex(tree),
+		admitted: make(map[int]*admittedTenant),
 	}
-	slots := tree.Config().SlotsPerServer
-	for i := range m.freeSlots {
-		m.freeSlots[i] = slots
+	m.workers = opts.Workers
+	if m.workers <= 0 {
+		m.workers = runtime.GOMAXPROCS(0)
 	}
+	if opts.NoFastPath {
+		m.workers = 1
+	}
+	for pid := 0; pid < tree.NumPorts(); pid++ {
+		p := tree.Port(pid)
+		m.portRate[pid] = p.RateBps
+		m.portCap[pid] = p.QueueCapacity()
+	}
+	m.upLo, m.upHi = tree.ServerUpPortRange()
+	m.downLo, m.downHi = tree.RackDownPortRange()
 	if c := tree.Config().CPUPerServer; c > 0 {
 		m.freeCPU = make([]float64, tree.Servers())
 		for i := range m.freeCPU {
@@ -108,21 +160,13 @@ func NewManager(tree *topology.Tree, opts Options) *Manager {
 			m.freeMem[i] = mem
 		}
 	}
-	for r := range m.freeByRack {
-		m.freeByRack[r] = slots * tree.Config().ServersPerRack
-	}
-	for p := range m.freeByPod {
-		m.freeByPod[p] = slots * tree.Config().ServersPerRack * tree.Config().RacksPerPod
-	}
 	return m
 }
 
 // takeSlot and freeSlot keep the cached sums consistent, including
 // non-network resources.
 func (m *Manager) takeSlot(server int, spec tenant.Spec) {
-	m.freeSlots[server]--
-	m.freeByRack[m.tree.RackOfServer(server)]--
-	m.freeByPod[m.tree.PodOfServer(server)]--
+	m.ix.take(server)
 	if m.freeCPU != nil {
 		m.freeCPU[server] -= spec.CPUPerVM
 	}
@@ -132,9 +176,7 @@ func (m *Manager) takeSlot(server int, spec tenant.Spec) {
 }
 
 func (m *Manager) freeSlot(server int, spec tenant.Spec) {
-	m.freeSlots[server]++
-	m.freeByRack[m.tree.RackOfServer(server)]++
-	m.freeByPod[m.tree.PodOfServer(server)]++
+	m.ix.free(server)
 	if m.freeCPU != nil {
 		m.freeCPU[server] += spec.CPUPerVM
 	}
@@ -145,7 +187,7 @@ func (m *Manager) freeSlot(server int, spec tenant.Spec) {
 
 // maxVMsByResources caps a server's VM count by slots, CPU and memory.
 func (m *Manager) maxVMsByResources(spec tenant.Spec, server int) int {
-	k := m.freeSlots[server]
+	k := m.ix.freeSlots[server]
 	if m.freeCPU != nil && spec.CPUPerVM > 0 {
 		if byCPU := int(m.freeCPU[server] / spec.CPUPerVM); byCPU < k {
 			k = byCPU
@@ -171,13 +213,19 @@ func (m *Manager) Accepted() int { return m.acceptedCount }
 // Rejected reports the number of rejected requests.
 func (m *Manager) Rejected() int { return m.rejectedCount }
 
+// Workers reports the scope-search parallelism in effect.
+func (m *Manager) Workers() int { return m.workers }
+
 // FreeSlots reports the number of free VM slots on server s.
-func (m *Manager) FreeSlots(s int) int { return m.freeSlots[s] }
+func (m *Manager) FreeSlots(s int) int { return m.ix.freeSlots[s] }
 
 // QueueBound reports the current worst-case queuing delay (seconds) at
 // the given directed port.
 func (m *Manager) QueueBound(portID int) float64 {
-	return queueBound(m.tree.Port(portID), m.ports[portID], contribution{})
+	if m.opts.NoFastPath {
+		return queueBound(m.tree.Port(portID), m.ports[portID], contribution{})
+	}
+	return m.bounds[portID]
 }
 
 // Placement returns the admitted placement for a tenant ID, if any.
@@ -187,6 +235,22 @@ func (m *Manager) Placement(id int) (*tenant.Placement, bool) {
 		return nil, false
 	}
 	return at.placement, true
+}
+
+// portTouched refreshes the per-port derived caches after the port's
+// aggregate state changed: the cached queue bound, and the dirty mark
+// of the rack whose headroom summary the port feeds.
+func (m *Manager) portTouched(pid int) {
+	if m.opts.NoFastPath {
+		return
+	}
+	m.bounds[pid] = queueBoundFast(m.portRate[pid], &m.ports[pid], contribution{})
+	switch {
+	case pid >= m.upLo && pid < m.upHi:
+		m.head.markRack(m.tree.RackOfServer(pid - m.upLo))
+	case pid >= m.downLo && pid < m.downHi:
+		m.head.markRack(m.tree.RackOfServer(pid - m.downLo))
+	}
 }
 
 // Place implements Algorithm. Placement proceeds scope by scope —
@@ -213,9 +277,10 @@ func (m *Manager) Place(spec tenant.Spec) (*tenant.Placement, error) {
 		return nil, fmt.Errorf("%w: tenant %q (%d VMs)", ErrRejected, spec.Name, spec.VMs)
 	}
 	pl := &tenant.Placement{Spec: spec, Servers: servers}
-	contribs := m.contributions(spec, newDistribution(m.tree, servers))
+	contribs := m.contributions(spec, servers)
 	for pid, c := range contribs {
 		m.ports[pid].add(c)
+		m.portTouched(pid)
 	}
 	for _, s := range servers {
 		m.takeSlot(s, spec)
@@ -233,6 +298,7 @@ func (m *Manager) Remove(id int) error {
 	}
 	for pid, c := range at.contribs {
 		m.ports[pid].remove(c)
+		m.portTouched(pid)
 	}
 	for _, s := range at.placement.Servers {
 		m.freeSlot(s, at.placement.Spec)
@@ -242,14 +308,14 @@ func (m *Manager) Remove(id int) error {
 }
 
 func (m *Manager) placeBestEffort(spec tenant.Spec) (*tenant.Placement, error) {
-	eff := m.freeSlots
+	eff := m.ix.freeSlots
 	if m.freeCPU != nil || m.freeMem != nil {
-		eff = make([]int, len(m.freeSlots))
+		eff = make([]int, len(m.ix.freeSlots))
 		for s := range eff {
 			eff[s] = m.maxVMsByResources(spec, s)
 		}
 	}
-	servers := packGreedy(m.tree, eff, spec.VMs, spec.FaultDomains)
+	servers := packGreedy(m.tree, eff, m.ix, spec.VMs, spec.FaultDomains)
 	if servers == nil {
 		m.rejectedCount++
 		return nil, fmt.Errorf("%w: best-effort tenant %q (%d VMs)", ErrRejected, spec.Name, spec.VMs)
@@ -261,6 +327,61 @@ func (m *Manager) placeBestEffort(spec tenant.Spec) (*tenant.Placement, error) {
 	m.admitted[spec.ID] = &admittedTenant{placement: pl, contribs: map[int]contribution{}}
 	m.acceptedCount++
 	return pl, nil
+}
+
+// reqMemo caches, for the duration of one admission request, the
+// contribution a cut of k local VMs makes at a server NIC-up port and
+// the contribution of the n−k remote VMs at the ToR down port, per
+// candidate k and scope span. Ports within a family share line rates,
+// so these depend only on (k, span) — the seed recomputed them (and
+// rebuilt their curves) for every server probed. Read-only during the
+// scope search, so safe to share across search workers.
+type reqMemo struct {
+	maxK  int
+	upC   []contribution
+	downC [3][]contribution
+	// emptyOK[span][k] precomputes serverPortsOK for a server whose
+	// NIC-up and ToR-down ports carry no admitted traffic yet — the
+	// common case on a lightly loaded tree, where the per-server probe
+	// collapses to an array lookup. Port rates and capacities are
+	// uniform within each family, so one verdict covers every such
+	// server.
+	emptyOK [3][]bool
+}
+
+func (m *Manager) newReqMemo(spec tenant.Spec) *reqMemo {
+	n := spec.VMs
+	maxK := m.tree.Config().SlotsPerServer
+	if maxK > n {
+		maxK = n
+	}
+	g := spec.Guarantee
+	link := m.tree.Config().LinkBps
+	memo := &reqMemo{maxK: maxK, upC: make([]contribution, maxK+1)}
+	for span := scopeRack; span <= scopeDC; span++ {
+		memo.downC[span] = make([]contribution, maxK+1)
+		memo.emptyOK[span] = make([]bool, maxK+1)
+	}
+	for k := 0; k <= maxK; k++ {
+		memo.upC[k] = m.cutContribution(k, n, g, link, 0)
+		for span := scopeRack; span <= scopeDC; span++ {
+			memo.downC[span][k] = m.cutContribution(n-k, n, g, math.Inf(1),
+				m.inflation(span, topology.LevelRack, topology.Down))
+		}
+	}
+	upID := m.tree.ServerUpPortID(0)
+	downID := m.tree.RackDownPortID(0)
+	var empty portState
+	for k := 0; k <= maxK; k++ {
+		okUp := memo.upC[k].isZero() ||
+			queueBoundFast(m.portRate[upID], &empty, memo.upC[k]) <= m.portCap[upID]+1e-12
+		for span := scopeRack; span <= scopeDC; span++ {
+			c := memo.downC[span][k]
+			memo.emptyOK[span][k] = okUp && (c.isZero() ||
+				queueBoundFast(m.portRate[downID], &empty, c) <= m.portCap[downID]+1e-12)
+		}
+	}
+	return memo
 }
 
 // findPlacement searches scopes in height order and returns the chosen
@@ -277,52 +398,142 @@ func (m *Manager) findPlacement(spec tenant.Spec) []int {
 	}
 
 	// Scope 0: single server (no network traffic, no constraints
-	// beyond slots and fault domains).
+	// beyond slots and fault domains). Racks without enough free slots
+	// cannot contain a server with enough either.
 	if spec.FaultDomains <= 1 {
-		for s := 0; s < m.tree.Servers(); s++ {
-			if m.maxVMsByResources(spec, s) >= spec.VMs {
-				servers := make([]int, spec.VMs)
-				for i := range servers {
-					servers[i] = s
+		for r := 0; r < m.tree.Racks(); r++ {
+			if m.ix.freeByRack[r] < spec.VMs {
+				continue
+			}
+			lo, hi := m.tree.ServersOfRack(r)
+			for s := lo; s < hi; s++ {
+				if m.maxVMsByResources(spec, s) >= spec.VMs {
+					servers := make([]int, spec.VMs)
+					for i := range servers {
+						servers[i] = s
+					}
+					return servers
 				}
-				return servers
 			}
 		}
 	}
 
+	var memo *reqMemo
+	if !m.opts.NoFastPath {
+		memo = m.newReqMemo(spec)
+	}
+	// Port-headroom skipping is sound only for tenants that put
+	// nonzero traffic on the network (n >= 2: every hosting server
+	// then carries at least B of arrival rate on its NIC-up and
+	// ToR-down ports, see headroomIndex).
+	useHeadroom := !m.opts.NoFastPath && spec.VMs >= 2
+	if useHeadroom {
+		m.head.refresh(m)
+	}
+	bw := g.BandwidthBps
+
 	// Scope 1: single rack.
 	if m.scopeDelayOK(delayBudget, scopeRack) {
-		for r := 0; r < m.tree.Racks(); r++ {
-			if m.freeByRack[r] < spec.VMs {
-				continue
+		servers := m.searchScopes(m.tree.Racks(), func(r int) []int {
+			free := m.ix.freeByRack[r]
+			if free < spec.VMs {
+				return nil
+			}
+			if useHeadroom && bw > m.head.rackMax[r]+headroomSlack {
+				return nil
 			}
 			lo, hi := m.tree.ServersOfRack(r)
-			if servers := m.tryScope(spec, rangeInts(lo, hi), scopeRack); servers != nil {
-				return servers
-			}
+			return m.tryScope(spec, memo, free, lo, hi, scopeRack)
+		})
+		if servers != nil {
+			return servers
 		}
 	}
 	// Scope 2: single pod.
 	if m.scopeDelayOK(delayBudget, scopePod) {
-		for p := 0; p < m.tree.Pods(); p++ {
-			if m.freeByPod[p] < spec.VMs {
-				continue
+		servers := m.searchScopes(m.tree.Pods(), func(p int) []int {
+			free := m.ix.freeByPod[p]
+			if free < spec.VMs {
+				return nil
+			}
+			if useHeadroom && bw > m.head.podMax[p]+headroomSlack {
+				return nil
 			}
 			rlo, rhi := m.tree.RacksOfPod(p)
 			slo, _ := m.tree.ServersOfRack(rlo)
 			_, shi := m.tree.ServersOfRack(rhi - 1)
-			if servers := m.tryScope(spec, rangeInts(slo, shi), scopePod); servers != nil {
-				return servers
-			}
+			return m.tryScope(spec, memo, free, slo, shi, scopePod)
+		})
+		if servers != nil {
+			return servers
 		}
 	}
 	// Scope 3: whole datacenter.
 	if m.scopeDelayOK(delayBudget, scopeDC) {
-		if servers := m.tryScope(spec, rangeInts(0, m.tree.Servers()), scopeDC); servers != nil {
+		if useHeadroom && bw > m.head.dcMax+headroomSlack {
+			return nil
+		}
+		if servers := m.tryScope(spec, memo, m.ix.totalFree, 0, m.tree.Servers(), scopeDC); servers != nil {
 			return servers
 		}
 	}
 	return nil
+}
+
+// searchScopes evaluates eval(0..count-1) — each a side-effect-free
+// attempt to place within one candidate scope — and returns the result
+// of the lowest-index success, preserving serial first-fit semantics.
+// With more than one worker, candidates are claimed in index order by
+// a pool of goroutines; a worker stops once every index below the best
+// known success has been claimed. All shared manager state is
+// read-only for the duration of the search.
+func (m *Manager) searchScopes(count int, eval func(int) []int) []int {
+	workers := m.workers
+	if workers > count {
+		workers = count
+	}
+	if workers <= 1 {
+		for i := 0; i < count; i++ {
+			if out := eval(i); out != nil {
+				return out
+			}
+		}
+		return nil
+	}
+	var (
+		next, best  atomic.Int64
+		mu          sync.Mutex
+		bestServers []int
+		wg          sync.WaitGroup
+	)
+	best.Store(int64(count))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(count) || i >= best.Load() {
+					return
+				}
+				out := eval(int(i))
+				if out == nil {
+					continue
+				}
+				mu.Lock()
+				if i < best.Load() {
+					best.Store(i)
+					bestServers = out
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if best.Load() == int64(count) {
+		return nil
+	}
+	return bestServers
 }
 
 type scopeHeight int
@@ -359,28 +570,25 @@ func (m *Manager) scopeDelayOK(budget float64, h scopeHeight) bool {
 	return worst <= budget+1e-15
 }
 
-// tryScope attempts to place all VMs within the candidate servers.
+// tryScope attempts to place all VMs within servers [lo, hi). free is
+// the caller's (index-maintained) free-slot sum over that range.
 // Pass 1 packs greedily (per-server count capped by the server-local
 // queuing constraints); pass 2 spreads evenly. Each pass's layout is
 // verified against the full constraint set before being accepted.
-func (m *Manager) tryScope(spec tenant.Spec, candidates []int, span scopeHeight) []int {
-	free := 0
-	for _, s := range candidates {
-		free += m.freeSlots[s]
-	}
+func (m *Manager) tryScope(spec tenant.Spec, memo *reqMemo, free, lo, hi int, span scopeHeight) []int {
 	if free < spec.VMs {
 		return nil
 	}
 
 	// Pass 1: greedy pack, honoring the per-server VM cap derived from
 	// the server's own up/down port constraints (paper §4.2.3).
-	if servers := m.packWithCaps(spec, candidates, span); servers != nil {
+	if servers := m.packWithCaps(spec, memo, lo, hi, span); servers != nil {
 		if m.layoutValid(spec, servers) {
 			return servers
 		}
 	}
 	// Pass 2: spread evenly across candidate servers.
-	if servers := m.spreadEven(spec, candidates); servers != nil {
+	if servers := m.spreadEven(spec, lo, hi); servers != nil {
 		if m.layoutValid(spec, servers) {
 			return servers
 		}
@@ -393,20 +601,53 @@ func (m *Manager) tryScope(spec tenant.Spec, candidates []int, span scopeHeight)
 // assuming the remaining VMs sit elsewhere (worst case for both
 // ports). span is the scope being attempted, which sets the burst
 // inflation the rest of the tenant's traffic accrues en route.
-func (m *Manager) maxVMsOnServer(spec tenant.Spec, s int, span scopeHeight) int {
+func (m *Manager) maxVMsOnServer(spec tenant.Spec, memo *reqMemo, s int, span scopeHeight) int {
 	limit := m.maxVMsByResources(spec, s)
 	if limit > spec.VMs {
 		limit = spec.VMs
 	}
-	for k := limit; k >= 1; k-- {
-		if m.serverPortsOK(spec, s, k, span) {
-			return k
+	if memo == nil {
+		for k := limit; k >= 1; k-- {
+			if m.serverPortsOKRef(spec, s, k, span) {
+				return k
+			}
 		}
+		return 0
+	}
+	up := m.tree.ServerUpPortID(s)
+	down := m.tree.RackDownPortID(s)
+	upSt, downSt := &m.ports[up], &m.ports[down]
+	if upSt.tenants == 0 && downSt.tenants == 0 {
+		oks := memo.emptyOK[span]
+		for k := limit; k >= 1; k-- {
+			if oks[k] {
+				return k
+			}
+		}
+		return 0
+	}
+	upRate, upCap := m.portRate[up], m.portCap[up]
+	downRate, downCap := m.portRate[down], m.portCap[down]
+	downC := memo.downC[span]
+	for k := limit; k >= 1; k-- {
+		if c := memo.upC[k]; !c.isZero() {
+			if queueBoundFast(upRate, upSt, c) > upCap+1e-12 {
+				continue
+			}
+		}
+		if c := downC[k]; !c.isZero() {
+			if queueBoundFast(downRate, downSt, c) > downCap+1e-12 {
+				continue
+			}
+		}
+		return k
 	}
 	return 0
 }
 
-func (m *Manager) serverPortsOK(spec tenant.Spec, s, k int, span scopeHeight) bool {
+// serverPortsOKRef is the reference (seed) implementation: it rebuilds
+// the cut contributions and materializes curves on every probe.
+func (m *Manager) serverPortsOKRef(spec tenant.Spec, s, k int, span scopeHeight) bool {
 	n := spec.VMs
 	g := spec.Guarantee
 	up := m.tree.ServerUpPort(s)
@@ -423,26 +664,45 @@ func (m *Manager) serverPortsOK(spec tenant.Spec, s, k int, span scopeHeight) bo
 	return m.portOK(down, downC)
 }
 
+// capParallelMin is the candidate-range size above which packWithCaps
+// computes per-server caps with the worker pool (only the datacenter
+// scope reaches it on realistic topologies).
+const capParallelMin = 2048
+
 // packWithCaps fills candidate servers in order, each up to its cap.
-func (m *Manager) packWithCaps(spec tenant.Spec, candidates []int, span scopeHeight) []int {
+func (m *Manager) packWithCaps(spec tenant.Spec, memo *reqMemo, lo, hi int, span scopeHeight) []int {
 	servers := make([]int, 0, spec.VMs)
 	left := spec.VMs
 	maxPer := maxPerServer(spec.VMs, spec.FaultDomains)
-	for _, s := range candidates {
-		if left == 0 {
-			break
+	if m.workers > 1 && memo != nil && hi-lo >= capParallelMin {
+		caps := m.parallelCaps(spec, memo, lo, hi, span)
+		for i := 0; i < len(caps) && left > 0; i++ {
+			k := caps[i]
+			if k > maxPer {
+				k = maxPer
+			}
+			if k > left {
+				k = left
+			}
+			for j := 0; j < k; j++ {
+				servers = append(servers, lo+i)
+			}
+			left -= k
 		}
-		k := m.maxVMsOnServer(spec, s, span)
-		if k > maxPer {
-			k = maxPer
+	} else {
+		for s := lo; s < hi && left > 0; s++ {
+			k := m.maxVMsOnServer(spec, memo, s, span)
+			if k > maxPer {
+				k = maxPer
+			}
+			if k > left {
+				k = left
+			}
+			for j := 0; j < k; j++ {
+				servers = append(servers, s)
+			}
+			left -= k
 		}
-		if k > left {
-			k = left
-		}
-		for i := 0; i < k; i++ {
-			servers = append(servers, s)
-		}
-		left -= k
 	}
 	if left > 0 {
 		return nil
@@ -453,13 +713,44 @@ func (m *Manager) packWithCaps(spec tenant.Spec, candidates []int, span scopeHei
 	return servers
 }
 
-// spreadEven distributes VMs round-robin over candidate servers with
-// free slots.
-func (m *Manager) spreadEven(spec tenant.Spec, candidates []int) []int {
-	remaining := make([]int, len(candidates))
+// parallelCaps computes maxVMsOnServer for servers [lo, hi) across the
+// worker pool. Per-server caps are independent and read shared state
+// only, so the result is identical to the serial computation.
+func (m *Manager) parallelCaps(spec tenant.Spec, memo *reqMemo, lo, hi int, span scopeHeight) []int {
+	caps := make([]int, hi-lo)
+	const block = 1024
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < m.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1)-1) * block
+				if b >= len(caps) {
+					return
+				}
+				e := b + block
+				if e > len(caps) {
+					e = len(caps)
+				}
+				for i := b; i < e; i++ {
+					caps[i] = m.maxVMsOnServer(spec, memo, lo+i, span)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return caps
+}
+
+// spreadEven distributes VMs round-robin over servers [lo, hi) with
+// free capacity.
+func (m *Manager) spreadEven(spec tenant.Spec, lo, hi int) []int {
+	remaining := make([]int, hi-lo)
 	total := 0
-	for i, s := range candidates {
-		remaining[i] = m.maxVMsByResources(spec, s)
+	for i := range remaining {
+		remaining[i] = m.maxVMsByResources(spec, lo+i)
 		total += remaining[i]
 	}
 	if total < spec.VMs {
@@ -469,12 +760,12 @@ func (m *Manager) spreadEven(spec tenant.Spec, candidates []int) []int {
 	left := spec.VMs
 	for left > 0 {
 		progress := false
-		for i, s := range candidates {
+		for i := range remaining {
 			if left == 0 {
 				break
 			}
 			if remaining[i] > 0 {
-				servers = append(servers, s)
+				servers = append(servers, lo+i)
 				remaining[i]--
 				left--
 				progress = true
@@ -495,17 +786,16 @@ func (m *Manager) spreadEven(spec tenant.Spec, candidates []int) []int {
 // capacity with the tenant's contribution added, and every intra-
 // tenant path must satisfy the delay constraint.
 func (m *Manager) layoutValid(spec tenant.Spec, servers []int) bool {
-	dist := newDistribution(m.tree, servers)
-	contribs := m.contributions(spec, dist)
-	for pid, c := range contribs {
-		port := m.tree.Port(pid)
-		if queueBound(port, m.ports[pid], c) > port.QueueCapacity()+1e-12 {
-			return false
-		}
+	lay := newLayout(m.tree, servers)
+	ok := m.forEachContribution(spec, lay, func(pid int, c contribution) bool {
+		return m.portBoundWith(pid, c) <= m.portCap[pid]+1e-12
+	})
+	if !ok {
+		return false
 	}
 	// Constraint 2 over actual server pairs.
 	if d := spec.Guarantee.DelayBound; d > 0 {
-		distinct := (&tenant.Placement{Servers: servers}).DistinctServers()
+		distinct := lay.servers
 		for i := 0; i < len(distinct); i++ {
 			for j := i + 1; j < len(distinct); j++ {
 				if m.pathDelayMetric(distinct[i], distinct[j]) > d+1e-15 {
@@ -517,16 +807,32 @@ func (m *Manager) layoutValid(spec tenant.Spec, servers []int) bool {
 	return true
 }
 
+// portBoundWith returns the port's queue bound with the extra
+// contribution added, via the closed form or the reference curves.
+func (m *Manager) portBoundWith(pid int, c contribution) float64 {
+	if m.opts.NoFastPath {
+		return queueBound(m.tree.Port(pid), m.ports[pid], c)
+	}
+	return queueBoundFast(m.portRate[pid], &m.ports[pid], c)
+}
+
 // pathDelayMetric sums per-port delay terms along a path: queue
 // capacities normally, or live queue bounds under the ablation option.
 func (m *Manager) pathDelayMetric(src, dst int) float64 {
-	var sum float64
-	for _, p := range m.tree.Path(src, dst) {
-		if m.opts.DelayCheckUsesBound {
+	if !m.opts.DelayCheckUsesBound {
+		return m.tree.PathDelayCapacity(src, dst)
+	}
+	if m.opts.NoFastPath {
+		var sum float64
+		for _, p := range m.tree.Path(src, dst) {
 			sum += queueBound(p, m.ports[p.ID], contribution{})
-		} else {
-			sum += p.QueueCapacity()
 		}
+		return sum
+	}
+	var buf [6]int
+	var sum float64
+	for _, pid := range m.tree.AppendPathIDs(buf[:0], src, dst) {
+		sum += m.bounds[pid]
 	}
 	return sum
 }
@@ -573,18 +879,6 @@ func (m *Manager) cutContribution(mSide, n int, g tenant.Guarantee, ingressCap, 
 	return contribution{Rate: rate, Burst: burst, Peak: peak, Seed: seed}
 }
 
-// spanOf returns the smallest scope containing all of a distribution's
-// VMs.
-func spanOf(dist distribution) scopeHeight {
-	if len(dist.perPod) > 1 {
-		return scopeDC
-	}
-	if len(dist.perRack) > 1 {
-		return scopePod
-	}
-	return scopeRack
-}
-
 // inflation returns the worst-case sum of queue capacities a tenant's
 // traffic may have crossed before reaching a port at the given level
 // and direction, given how far the tenant spans. A rack-local tenant's
@@ -625,99 +919,119 @@ func (m *Manager) inflation(span scopeHeight, level topology.Level, dir topology
 	}
 }
 
-// contributions computes the tenant's contribution at every directed
-// port its traffic crosses, given its VM distribution.
-func (m *Manager) contributions(spec tenant.Spec, dist distribution) map[int]contribution {
+// forEachContribution streams the tenant's contribution at every
+// directed port its traffic crosses, given its VM layout. fn returning
+// false stops the walk early (layoutValid bails at the first violated
+// port); the return value reports whether the walk ran to completion.
+// Port rates and queue capacities are uniform within each level of the
+// tree, so ingress capacities use representative ports.
+func (m *Manager) forEachContribution(spec tenant.Spec, lay layout, fn func(pid int, c contribution) bool) bool {
 	g := spec.Guarantee
-	n := dist.total
+	n := lay.total
 	t := m.tree
 	link := t.Config().LinkBps
-	span := spanOf(dist)
-	out := make(map[int]contribution)
-
-	add := func(port *topology.Port, c contribution) {
-		if !c.isZero() {
-			out[port.ID] = c
-		}
-	}
+	span := lay.span()
 
 	// Server NIC up ports and ToR down ports.
-	for s, k := range dist.perServer {
-		r := t.RackOfServer(s)
+	downInfl := m.inflation(span, topology.LevelRack, topology.Down)
+	podDownRate := t.PodDownPort(0).RateBps
+	for i, s := range lay.servers {
+		k := lay.serverCnt[i]
+		ri := lay.serverRack[i]
 		// Up: k local VMs send to n−k remote ones; traffic enters the
 		// NIC from the local pacer, physically capped at line rate.
-		add(t.ServerUpPort(s), m.cutContribution(k, n, g, link, 0))
+		if c := m.cutContribution(k, n, g, link, 0); !c.isZero() {
+			if !fn(t.ServerUpPortID(s), c) {
+				return false
+			}
+		}
 		// Down: n−k remote VMs send toward s. Ingress to the ToR is
 		// capped by the links feeding it that carry tenant traffic:
 		// other in-rack servers' NICs plus the rack's downlink if the
 		// tenant extends beyond the rack.
-		otherServersInRack := serversWithVMs(dist, t, r) - 1
-		ingress := float64(otherServersInRack) * link
-		if dist.perRack[r] < n {
-			ingress += t.PodDownPort(r).RateBps
+		ingress := float64(lay.rackSrv[ri]-1) * link
+		if lay.rackCnt[ri] < n {
+			ingress += podDownRate
 		}
-		down := m.cutContribution(n-k, n, g, ingress, m.inflation(span, topology.LevelRack, topology.Down))
-		add(t.RackDownPort(s), down)
+		if c := m.cutContribution(n-k, n, g, ingress, downInfl); !c.isZero() {
+			if !fn(t.RackDownPortID(s), c) {
+				return false
+			}
+		}
 	}
 
 	// Rack up and pod down ports, only if the tenant spans racks.
-	for r, k := range dist.perRack {
-		if k == n {
-			continue // nothing crosses the rack boundary
-		}
-		p := t.PodOfRack(r)
-		// Up: k VMs in rack send out; ingress = servers in rack with
-		// VMs.
-		ingressUp := float64(serversWithVMs(dist, t, r)) * link
-		add(t.RackUpPort(r), m.cutContribution(k, n, g, ingressUp, m.inflation(span, topology.LevelRack, topology.Up)))
-		// Down into rack r: from other racks in pod + core downlink if
-		// tenant spans pods.
-		ingressDown := 0.0
-		for r2 := range dist.perRack {
-			if r2 != r && t.PodOfRack(r2) == p {
-				ingressDown += t.RackUpPort(r2).RateBps
+	if len(lay.racks) > 1 {
+		rackUpInfl := m.inflation(span, topology.LevelRack, topology.Up)
+		podDownInfl := m.inflation(span, topology.LevelPod, topology.Down)
+		rackUpRate := t.RackUpPort(0).RateBps
+		coreDownRate := t.CoreDownPort(0).RateBps
+		for ri, r := range lay.racks {
+			k := lay.rackCnt[ri]
+			if k == n {
+				continue // nothing crosses the rack boundary
+			}
+			// Up: k VMs in rack send out; ingress = servers in rack
+			// with VMs.
+			ingressUp := float64(lay.rackSrv[ri]) * link
+			if c := m.cutContribution(k, n, g, ingressUp, rackUpInfl); !c.isZero() {
+				if !fn(t.RackUpPortID(r), c) {
+					return false
+				}
+			}
+			// Down into rack r: from other racks in pod + core
+			// downlink if the tenant spans pods.
+			pi := lay.rackPod[ri]
+			ingressDown := float64(lay.podRacks[pi]-1) * rackUpRate
+			if lay.podCnt[pi] < n {
+				ingressDown += coreDownRate
+			}
+			if c := m.cutContribution(n-k, n, g, ingressDown, podDownInfl); !c.isZero() {
+				if !fn(t.PodDownPortID(r), c) {
+					return false
+				}
 			}
 		}
-		if dist.perPod[p] < n {
-			ingressDown += t.CoreDownPort(p).RateBps
-		}
-		add(t.PodDownPort(r), m.cutContribution(n-k, n, g, ingressDown, m.inflation(span, topology.LevelPod, topology.Down)))
 	}
 
 	// Pod up and core down ports, only if the tenant spans pods.
-	for p, k := range dist.perPod {
-		if k == n {
-			continue
-		}
-		ingressUp := 0.0
-		for r := range dist.perRack {
-			if t.PodOfRack(r) == p {
-				ingressUp += t.RackUpPort(r).RateBps
+	if len(lay.pods) > 1 {
+		podUpInfl := m.inflation(span, topology.LevelPod, topology.Up)
+		coreInfl := m.inflation(span, topology.LevelCore, topology.Down)
+		rackUpRate := t.RackUpPort(0).RateBps
+		podUpRate := t.PodUpPort(0).RateBps
+		for pi, p := range lay.pods {
+			k := lay.podCnt[pi]
+			if k == n {
+				continue
+			}
+			ingressUp := float64(lay.podRacks[pi]) * rackUpRate
+			if c := m.cutContribution(k, n, g, ingressUp, podUpInfl); !c.isZero() {
+				if !fn(t.PodUpPortID(p), c) {
+					return false
+				}
+			}
+			ingressDown := float64(len(lay.pods)-1) * podUpRate
+			if c := m.cutContribution(n-k, n, g, ingressDown, coreInfl); !c.isZero() {
+				if !fn(t.CoreDownPortID(p), c) {
+					return false
+				}
 			}
 		}
-		add(t.PodUpPort(p), m.cutContribution(k, n, g, ingressUp, m.inflation(span, topology.LevelPod, topology.Up)))
-		ingressDown := 0.0
-		for p2 := range dist.perPod {
-			if p2 != p {
-				ingressDown += t.PodUpPort(p2).RateBps
-			}
-		}
-		add(t.CoreDownPort(p), m.cutContribution(n-k, n, g, ingressDown, m.inflation(span, topology.LevelCore, topology.Down)))
 	}
-	return out
+	return true
 }
 
-// serversWithVMs counts the distinct servers in rack r hosting tenant
-// VMs.
-func serversWithVMs(dist distribution, t *topology.Tree, r int) int {
-	lo, hi := t.ServersOfRack(r)
-	cnt := 0
-	for s := lo; s < hi; s++ {
-		if dist.perServer[s] > 0 {
-			cnt++
-		}
-	}
-	return cnt
+// contributions materializes the per-port contribution map for a
+// placement (used when committing and when auditing, not in the search
+// hot path).
+func (m *Manager) contributions(spec tenant.Spec, servers []int) map[int]contribution {
+	out := make(map[int]contribution)
+	m.forEachContribution(spec, newLayout(m.tree, servers), func(pid int, c contribution) bool {
+		out[pid] = c
+		return true
+	})
+	return out
 }
 
 func faultDomainsOK(servers []int, domains int) bool {
@@ -731,26 +1045,25 @@ func faultDomainsOK(servers []int, domains int) bool {
 	return len(distinct) >= domains
 }
 
-func rangeInts(lo, hi int) []int {
-	out := make([]int, 0, hi-lo)
-	for i := lo; i < hi; i++ {
-		out = append(out, i)
-	}
-	return out
-}
-
 // VerifyInvariants exhaustively rechecks constraint 1 at every port by
 // recomputing contributions of all admitted tenants from scratch; it
-// returns an error naming the first violating port. Intended for tests
-// and post-hoc validation, not the hot path.
+// returns an error naming the first violating port, and also
+// cross-checks the incrementally maintained queue-bound cache against
+// a fresh computation. Intended for tests and post-hoc validation, not
+// the hot path.
 func (m *Manager) VerifyInvariants() error {
 	fresh := make([]portState, m.tree.NumPorts())
 	for _, at := range m.admitted {
-		dist := newDistribution(m.tree, at.placement.Servers)
-		for pid, c := range m.contributions(at.placement.Spec, dist) {
+		if at.placement.Spec.Class == tenant.ClassBestEffort {
+			// Best-effort tenants bypass network admission and
+			// contribute no arrival curves (paper §4.4).
+			continue
+		}
+		for pid, c := range m.contributions(at.placement.Spec, at.placement.Servers) {
 			fresh[pid].add(c)
 		}
 	}
+	var ar netcal.Arena
 	for pid := range fresh {
 		port := m.tree.Port(pid)
 		got := m.ports[pid]
@@ -760,9 +1073,15 @@ func (m *Manager) VerifyInvariants() error {
 			return fmt.Errorf("port %d state drift: have %+v want %+v", pid, got, want)
 		}
 		if want.tenants > 0 {
-			b := netcal.QueueBound(want.contribution.curve(), netcal.NewRateLatency(port.RateBps, 0))
+			ar.Reset()
+			b := netcal.QueueBound(want.contribution.curveIn(&ar), netcal.NewRateLatency(port.RateBps, 0))
 			if b > port.QueueCapacity()+1e-9 {
 				return fmt.Errorf("port %d violates constraint 1: bound %v > capacity %v", pid, b, port.QueueCapacity())
+			}
+		}
+		if !m.opts.NoFastPath {
+			if live := queueBoundFast(m.portRate[pid], &got, contribution{}); math.Abs(m.bounds[pid]-live) > 1e-9 {
+				return fmt.Errorf("port %d bound-cache drift: cached %v live %v", pid, m.bounds[pid], live)
 			}
 		}
 	}

@@ -231,6 +231,65 @@ func (t *Tree) RacksOfPod(p int) (lo, hi int) {
 	return p * t.cfg.RacksPerPod, (p + 1) * t.cfg.RacksPerPod
 }
 
+// Directed-port ID accessors: the integer IDs of the port families,
+// for hot paths that index manager-side arrays by port ID without
+// touching the Port structs themselves.
+
+// ServerUpPortID returns the ID of server s's NIC egress port.
+func (t *Tree) ServerUpPortID(s int) int { return t.serverUpBase + s }
+
+// RackDownPortID returns the ID of the ToR port facing server s.
+func (t *Tree) RackDownPortID(s int) int { return t.rackDownBase + s }
+
+// RackUpPortID returns the ID of rack r's uplink port.
+func (t *Tree) RackUpPortID(r int) int { return t.rackUpBase + r }
+
+// PodDownPortID returns the ID of the pod port facing rack r.
+func (t *Tree) PodDownPortID(r int) int { return t.podDownBase + r }
+
+// PodUpPortID returns the ID of pod p's uplink port.
+func (t *Tree) PodUpPortID(p int) int { return t.podUpBase + p }
+
+// CoreDownPortID returns the ID of the core port facing pod p.
+func (t *Tree) CoreDownPortID(p int) int { return t.coreDownBase + p }
+
+// ServerUpPortRange returns the half-open port-ID range [lo, hi) of
+// all server NIC egress ports; the port with ID lo+s belongs to
+// server s.
+func (t *Tree) ServerUpPortRange() (lo, hi int) {
+	return t.serverUpBase, t.serverUpBase + t.Servers()
+}
+
+// RackDownPortRange returns the half-open port-ID range [lo, hi) of
+// all ToR server-facing ports; the port with ID lo+s faces server s.
+func (t *Tree) RackDownPortRange() (lo, hi int) {
+	return t.rackDownBase, t.rackDownBase + t.Servers()
+}
+
+// AppendPathIDs appends to ids the IDs of the directed ports a packet
+// traverses from server src to server dst (same order as Path) and
+// returns the extended slice. It allocates only if ids lacks capacity.
+func (t *Tree) AppendPathIDs(ids []int, src, dst int) []int {
+	if src == dst {
+		return ids
+	}
+	srcRack, dstRack := t.RackOfServer(src), t.RackOfServer(dst)
+	srcPod, dstPod := t.PodOfRack(srcRack), t.PodOfRack(dstRack)
+	ids = append(ids, t.ServerUpPortID(src))
+	if srcRack == dstRack {
+		return append(ids, t.RackDownPortID(dst))
+	}
+	ids = append(ids, t.RackUpPortID(srcRack))
+	if srcPod == dstPod {
+		return append(ids, t.PodDownPortID(dstRack), t.RackDownPortID(dst))
+	}
+	return append(ids,
+		t.PodUpPortID(srcPod),
+		t.CoreDownPortID(dstPod),
+		t.PodDownPortID(dstRack),
+		t.RackDownPortID(dst))
+}
+
 // Directed-port accessors.
 
 // ServerUpPort returns the NIC egress port of server s.
@@ -279,13 +338,22 @@ func (t *Tree) Path(src, dst int) []*Port {
 
 // PathDelayCapacity returns the sum of queue capacities (seconds) along
 // the path from src to dst — the delay bound Silo's placement uses for
-// constraint 2.
+// constraint 2. It walks the path without materializing it.
 func (t *Tree) PathDelayCapacity(src, dst int) float64 {
-	var sum float64
-	for _, p := range t.Path(src, dst) {
-		sum += p.QueueCapacity()
+	if src == dst {
+		return 0
 	}
-	return sum
+	srcRack, dstRack := t.RackOfServer(src), t.RackOfServer(dst)
+	srcPod, dstPod := t.PodOfRack(srcRack), t.PodOfRack(dstRack)
+	sum := t.ServerUpPort(src).QueueCapacity() + t.RackDownPort(dst).QueueCapacity()
+	if srcRack == dstRack {
+		return sum
+	}
+	sum += t.RackUpPort(srcRack).QueueCapacity() + t.PodDownPort(dstRack).QueueCapacity()
+	if srcPod == dstPod {
+		return sum
+	}
+	return sum + t.PodUpPort(srcPod).QueueCapacity() + t.CoreDownPort(dstPod).QueueCapacity()
 }
 
 // WorstPathDelayCapacity returns the largest PathDelayCapacity between
