@@ -1,8 +1,13 @@
 GO ?= go
 
-.PHONY: all vet build test test-race bench-placement
+.PHONY: all ci vet build test test-race bench-placement bench-obs
 
 all: vet build test
+
+# Everything CI runs, in order. The race pass covers the packages with
+# concurrent hot paths: the sharded obs histograms and the pacer.
+ci: vet build test
+	$(GO) test -race ./internal/obs/... ./internal/pacer/...
 
 vet:
 	$(GO) vet ./...
@@ -22,3 +27,8 @@ test-race:
 # bench_all_output.txt (see README.md "Placement at scale").
 bench-placement:
 	$(GO) test -run '^$$' -bench 'BenchmarkPlacement100K|BenchmarkPlaceRemoveChurn|BenchmarkQueueBound$$' -benchmem .
+
+# Asserts the metrics core costs zero allocations per observation on
+# both the enabled and disabled paths (see README.md "Observability").
+bench-obs:
+	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchmem ./internal/obs/

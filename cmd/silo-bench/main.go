@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,11 +22,20 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
 // outdir, when non-empty, receives CSV series for plotting.
 var outdir string
+
+// reg is the optional metrics registry (-metrics / -http); nil keeps
+// instrumentation disabled.
+var reg *obs.Registry
+
+// benchJSON, when non-empty, receives the placement microbenchmark
+// result as machine-readable JSON (see BENCH_placement.json).
+var benchJSON string
 
 // writeCSV drops a CSV into outdir if one was requested.
 func writeCSV(name string, header []string, rows [][]float64) {
@@ -44,9 +54,22 @@ func main() {
 		requests = flag.Int("requests", 0, "override request count for the placement microbenchmark")
 		seed     = flag.Uint64("seed", 0, "override RNG seed")
 		outFlag  = flag.String("outdir", "", "also write plottable CSV series to this directory")
+
+		metricsOut = flag.String("metrics", "", "export metrics on exit (\"-\" = Prometheus to stdout, *.json = expvar JSON, else Prometheus to file)")
+		httpAddr   = flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
+		benchOut   = flag.String("bench-json", "", "write the placement microbenchmark result as JSON to this file")
 	)
 	flag.Parse()
 	outdir = *outFlag
+	benchJSON = *benchOut
+
+	var finishObs func() error
+	var err error
+	reg, finishObs, err = obs.StartCLI(*metricsOut, *httpAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	runners := map[string]func() error{
 		"fig1":        func() error { return runFig1(*duration, *seed) },
@@ -85,6 +108,10 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println()
+	}
+	if err := finishObs(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 
@@ -310,11 +337,45 @@ func runPlaceUB(requests int, seed uint64) error {
 	if seed != 0 {
 		p.Seed = seed
 	}
+	p.Metrics = reg
 	fmt.Println("Placement microbenchmark — 100K-host datacenter, mean 49-VM tenants:")
 	r, err := experiments.RunPlacementBench(p)
 	if err != nil {
 		return err
 	}
 	fmt.Print(r.Render())
+	if benchJSON != "" {
+		if err := writeBenchJSON(benchJSON, r); err != nil {
+			return fmt.Errorf("bench-json: %w", err)
+		}
+	}
 	return nil
+}
+
+// writeBenchJSON emits the machine-readable placement benchmark record
+// (the checked-in BENCH_placement.json is regenerated with
+// `silo-bench -run placeub -bench-json BENCH_placement.json`).
+func writeBenchJSON(path string, r experiments.PlacementBenchResult) error {
+	rec := struct {
+		Benchmark   string `json:"benchmark"`
+		Hosts       int    `json:"hosts"`
+		Requests    int    `json:"requests"`
+		Accepted    int    `json:"accepted"`
+		MeanNs      int64  `json:"mean_ns"`
+		P50Ns       int64  `json:"p50_ns"`
+		P99Ns       int64  `json:"p99_ns"`
+		MaxNs       int64  `json:"max_ns"`
+		TotalNs     int64  `json:"total_ns"`
+		AllocsPerOp int64  `json:"allocs_per_op"`
+	}{
+		Benchmark: "placeub", Hosts: r.Hosts, Requests: r.Requests,
+		Accepted: r.Accepted, MeanNs: r.MeanNs, P50Ns: r.P50Ns,
+		P99Ns: r.P99Ns, MaxNs: r.MaxNs, TotalNs: r.TotalElapsedNs,
+		AllocsPerOp: r.AllocsPerOp,
+	}
+	b, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/stats"
 	"repro/internal/tenant"
@@ -42,8 +43,17 @@ func main() {
 		bmaxG   = flag.Float64("bmax-gbps", 1, "burst rate cap")
 		msgKB   = flag.Float64("msg-kb", 20, "message size for the latency bound printout")
 		seed    = flag.Uint64("seed", 1, "rng seed")
+
+		metricsOut = flag.String("metrics", "", "export metrics on exit (\"-\" = Prometheus to stdout, *.json = expvar JSON, else Prometheus to file)")
+		httpAddr   = flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
 	)
 	flag.Parse()
+
+	reg, finishObs, err := obs.StartCLI(*metricsOut, *httpAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	tree, err := topology.New(topology.Config{
 		Pods:           *pods,
@@ -64,7 +74,9 @@ func main() {
 	var placer placement.Algorithm
 	switch *algo {
 	case "silo":
-		placer = placement.NewManager(tree, placement.Options{Workers: *workers})
+		m := placement.NewManager(tree, placement.Options{Workers: *workers})
+		m.EnableMetrics(reg)
+		placer = m
 	case "oktopus":
 		placer = placement.NewOktopus(tree)
 	case "locality":
@@ -154,5 +166,9 @@ func main() {
 			fmt.Printf("  port %-4d %-6s/%-4s bound=%7.1fµs capacity=%7.1fµs\n",
 				w.id, port.Level, port.Dir, w.bound*1e6, port.QueueCapacity()*1e6)
 		}
+	}
+	if err := finishObs(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

@@ -16,6 +16,8 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/pacer"
 	"repro/internal/placement"
 	"repro/internal/stats"
 	"repro/internal/tenant"
@@ -35,8 +37,16 @@ func main() {
 		vmsA       = flag.Int("vms-a", 9, "VMs of the delay-sensitive tenant")
 		vmsB       = flag.Int("vms-b", 9, "VMs of the bulk tenant")
 		seed       = flag.Uint64("seed", 3, "rng seed")
+		metricsOut = flag.String("metrics", "", "export metrics on exit (\"-\" = Prometheus to stdout, *.json = expvar JSON, else Prometheus to file)")
+		httpAddr   = flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
 	)
 	flag.Parse()
+
+	reg, finishObs, err := obs.StartCLI(*metricsOut, *httpAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	var scheme experiments.Scheme
 	switch *schemeName {
@@ -94,6 +104,24 @@ func main() {
 	}
 	depA := experiments.DeployTenant(nw, f, scheme, specA, plA, 1000)
 	depB := experiments.DeployTenant(nw, f, scheme, specB, plB, 2000)
+
+	// The guarantee audit runs on every invocation (with or without
+	// -metrics): admitted {B, S, d} triples are checked against every
+	// delivered packet's NIC-to-NIC delay.
+	audit := obs.NewGuaranteeAuditor(reg)
+	bm := pacer.NewBatchMetrics(reg)
+	depA.EnableTelemetry(nw, reg, audit, bm)
+	depB.EnableTelemetry(nw, reg, audit, bm)
+	nw.RegisterMetrics(reg)
+	nw.AttachDelayAudit(audit, func(vmID int) (int, bool) {
+		switch {
+		case vmID >= 1000 && vmID < 1000+*vmsA:
+			return specA.ID, true
+		case vmID >= 2000 && vmID < 2000+*vmsB:
+			return specB.ID, true
+		}
+		return 0, false
+	})
 
 	if scheme.Paced() {
 		experiments.CoordinateHose(nw, depA, workload.AllToOne(*vmsA), experiments.HoseFairShare)
@@ -160,6 +188,11 @@ func main() {
 		} else {
 			fmt.Printf("=> %0.3f%% of messages exceeded the guarantee\n", 100*lat.FractionAbove(bound))
 		}
+	}
+	fmt.Println(audit.Summary())
+	if err := finishObs(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 

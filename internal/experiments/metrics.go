@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/pacer"
+)
+
+// EnableTelemetry wires a deployment into the observability layer:
+//
+//   - the tenant's {B, S, d} triple is admitted into the guarantee
+//     auditor (so delivered-packet delays are checked against d),
+//   - each pacer VM gets per-VM metrics, with curve-delayed packets
+//     routed into the tenant's audit,
+//   - each hosting NIC's batcher reports into the shared batch metrics.
+//
+// Any of reg, a and bm may be nil; whatever is nil is skipped. The
+// returned TenantAudit is nil iff a is nil. Call after DeployTenant
+// (and after CoordinateHose/StartDynamicCoordination — neither touches
+// the hooks installed here).
+func (d *Deployment) EnableTelemetry(nw *netsim.Network, reg *obs.Registry, a *obs.GuaranteeAuditor, bm *pacer.BatchMetrics) *obs.TenantAudit {
+	g := d.Spec.Guarantee
+	ta := a.Admit(d.Spec.ID, g.BandwidthBps, g.BurstBytes, g.DelayBound)
+	for i, id := range d.VMIDs {
+		host := nw.Hosts[d.Placement.Servers[i]]
+		if vm, ok := host.VM(id); ok {
+			mx := pacer.NewVMMetrics(reg, id)
+			if ta != nil {
+				if mx == nil {
+					// No registry, but the audit still wants the
+					// curve-delayed feed; a bare VMMetrics works because
+					// its unset metrics are nil-safe.
+					mx = &pacer.VMMetrics{}
+				}
+				mx.Audit = ta
+			}
+			vm.SetMetrics(mx)
+		}
+		if hp := host.Pacer(); hp != nil && hp.Batcher.Metrics == nil {
+			hp.Batcher.Metrics = bm
+		}
+	}
+	return ta
+}

@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/flowsim"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/stats"
 	"repro/internal/tenant"
@@ -234,6 +236,10 @@ type PlacementBenchParams struct {
 	AvgVMs                                            int
 	Requests                                          int
 	Seed                                              uint64
+	// Metrics, when non-nil, receives the placement manager's
+	// telemetry (admission latency histogram, accept/reject counters,
+	// headroom gauges).
+	Metrics *obs.Registry
 }
 
 // DefaultPlacementBenchParams mirrors the paper's 100 K-host setup at
@@ -256,8 +262,11 @@ type PlacementBenchResult struct {
 	Requests       int
 	Accepted       int
 	MeanNs, MaxNs  int64
-	P99Ns          int64
+	P50Ns, P99Ns   int64
 	TotalElapsedNs int64
+	// AllocsPerOp is the heap allocations per request over the whole
+	// churn loop (place + occasional remove), from runtime.MemStats.
+	AllocsPerOp int64
 }
 
 // RunPlacementBench measures wall-clock placement time per request on
@@ -279,10 +288,13 @@ func RunPlacementBench(p PlacementBenchParams) (PlacementBenchResult, error) {
 		return PlacementBenchResult{}, err
 	}
 	m := placement.NewManager(tree, placement.Options{})
+	m.EnableMetrics(p.Metrics)
 	rng := stats.NewRand(p.Seed)
 	times := stats.NewSample(p.Requests)
 	res := PlacementBenchResult{Hosts: tree.Servers(), Requests: p.Requests}
 	var liveIDs []int
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	for i := 0; i < p.Requests; i++ {
 		vms := int(rng.Exp(float64(p.AvgVMs)))
@@ -316,8 +328,14 @@ func RunPlacementBench(p PlacementBenchParams) (PlacementBenchResult, error) {
 		}
 	}
 	res.TotalElapsedNs = time.Since(start).Nanoseconds()
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
+	if p.Requests > 0 {
+		res.AllocsPerOp = int64(ms1.Mallocs-ms0.Mallocs) / int64(p.Requests)
+	}
 	res.MeanNs = int64(times.Mean())
 	res.MaxNs = int64(times.Max())
+	res.P50Ns = int64(times.Percentile(50))
 	res.P99Ns = int64(times.Percentile(99))
 	return res, nil
 }
@@ -325,8 +343,8 @@ func RunPlacementBench(p PlacementBenchParams) (PlacementBenchResult, error) {
 // Render formats the microbenchmark.
 func (r PlacementBenchResult) Render() string {
 	return fmt.Sprintf(
-		"hosts=%d requests=%d accepted=%d mean=%.3fms p99=%.3fms max=%.3fms total=%.1fs\n",
+		"hosts=%d requests=%d accepted=%d mean=%.3fms p50=%.3fms p99=%.3fms max=%.3fms total=%.1fs allocs/op=%d\n",
 		r.Hosts, r.Requests, r.Accepted,
-		float64(r.MeanNs)/1e6, float64(r.P99Ns)/1e6, float64(r.MaxNs)/1e6,
-		float64(r.TotalElapsedNs)/1e9)
+		float64(r.MeanNs)/1e6, float64(r.P50Ns)/1e6, float64(r.P99Ns)/1e6, float64(r.MaxNs)/1e6,
+		float64(r.TotalElapsedNs)/1e9, r.AllocsPerOp)
 }

@@ -1,0 +1,86 @@
+package netsim
+
+import (
+	"repro/internal/obs"
+)
+
+// RegisterMetrics exposes the network's per-port counters through an
+// obs registry. Everything is registered as pull-time gauge functions
+// reading the queues' plain counters, so the simulator hot path stays
+// untouched: the cost is paid at snapshot/export time only, and a nil
+// registry is a no-op.
+//
+// Per directed port (label port="<name>"):
+//
+//	silo_netsim_queue_hwm_bytes   worst occupancy seen (incl. arrival)
+//	silo_netsim_dropped_pkts      packets dropped at the port
+//	silo_netsim_sent_bytes        bytes serialized
+//
+// Fabric-wide:
+//
+//	silo_netsim_drops_total       drops across all switch ports
+//	silo_netsim_voids_dropped_total  void frames absorbed at first hop
+//	silo_netsim_goodput_bytes     non-void bytes delivered to hosts
+func (nw *Network) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	for _, q := range nw.Queues {
+		if q == nil {
+			continue
+		}
+		q := q
+		reg.GaugeFunc("silo_netsim_queue_hwm_bytes",
+			"worst queue occupancy observed at the port (bytes)",
+			func() float64 { return float64(q.Stats.HighWaterBytes) },
+			"port", q.Name)
+		reg.GaugeFunc("silo_netsim_dropped_pkts",
+			"packets dropped at the port",
+			func() float64 { return float64(q.Stats.DroppedPkts) },
+			"port", q.Name)
+		reg.GaugeFunc("silo_netsim_sent_bytes",
+			"bytes serialized by the port",
+			func() float64 { return float64(q.Stats.SentBytes) },
+			"port", q.Name)
+	}
+	reg.GaugeFunc("silo_netsim_drops_total",
+		"packet drops across all switch ports",
+		func() float64 { return float64(nw.TotalDrops()) })
+	reg.GaugeFunc("silo_netsim_voids_dropped_total",
+		"void frames absorbed by first-hop switches",
+		func() float64 { return float64(nw.TotalVoidsDropped()) })
+	reg.GaugeFunc("silo_netsim_goodput_bytes",
+		"non-void bytes delivered to hosts",
+		func() float64 { return float64(nw.SentDataBytes()) })
+}
+
+// AttachDelayAudit wires every host's delivery path into a guarantee
+// auditor: each delivered data packet's NIC-to-NIC delay (delivery time
+// minus the SentAt wire stamp) is recorded against the destination
+// VM's tenant. tenantOf maps a VM id to its tenant id (ok=false skips
+// the packet); it runs once per delivered packet, so it must not
+// allocate — a range check or array lookup, not a map built per call.
+//
+// This is the whole-run replacement for the Tracer's per-packet hop
+// recording: the auditor's per-tenant histogram and violation counters
+// aggregate in place with zero allocation, where the Tracer retains
+// every hop of every matched packet and is meant for debugging short
+// runs (see trace.go).
+//
+// Existing OnDeliver hooks are preserved and run first.
+func (nw *Network) AttachDelayAudit(a *obs.GuaranteeAuditor, tenantOf func(vmID int) (tenantID int, ok bool)) {
+	if a == nil {
+		return
+	}
+	for _, h := range nw.Hosts {
+		prev := h.OnDeliver
+		h.OnDeliver = func(p *Packet, delayNs int64) {
+			if prev != nil {
+				prev(p, delayNs)
+			}
+			if id, ok := tenantOf(p.DstVM); ok {
+				a.ObserveDelay(id, delayNs)
+			}
+		}
+	}
+}

@@ -38,6 +38,11 @@ type Host struct {
 	NIC *Queue
 	// Deliver is the upcall for packets addressed to this host.
 	Deliver func(p *Packet)
+	// OnDeliver, if set, observes every delivered data packet with its
+	// NIC-to-NIC delay (now minus SentAt, the wire timestamp). It runs
+	// before Deliver; Network.AttachDelayAudit uses it to feed the
+	// guarantee auditor.
+	OnDeliver func(p *Packet, delayNs int64)
 
 	// Pacing state (nil for unpaced hosts).
 	pacer       *pacer.HostPacer
@@ -63,6 +68,9 @@ func (h *Host) Receive(p *Packet) {
 		// Voids should have been dropped upstream; tolerate anyway.
 		return
 	}
+	if h.OnDeliver != nil {
+		h.OnDeliver(p, h.sim.Now()-p.SentAt)
+	}
 	if h.Deliver != nil {
 		h.Deliver(p)
 	}
@@ -81,6 +89,10 @@ func (h *Host) EnablePacing(batcher *pacer.Batcher) {
 
 // Paced reports whether the host has a pacer installed.
 func (h *Host) Paced() bool { return h.pacer != nil }
+
+// Pacer returns the host pacer (nil for unpaced hosts). Exposed so
+// instrumentation can reach the NIC batcher.
+func (h *Host) Pacer() *pacer.HostPacer { return h.pacer }
 
 // AddVM registers a paced VM (its guarantees configured by the
 // caller) on this host.

@@ -43,4 +43,8 @@ type Counters struct {
 	DroppedBytes int64
 	ECNMarked    int64
 	VoidDropped  int64
+	// HighWaterBytes is the worst queue occupancy observed, including
+	// the arriving packet (the sim is single-threaded, so a plain max
+	// suffices).
+	HighWaterBytes int64
 }

@@ -81,6 +81,9 @@ func (q *Queue) Enqueue(p *Packet) {
 	}
 	q.fifos[prio] = append(q.fifos[prio], p)
 	q.occupied += p.Size
+	if hw := int64(q.occupied); hw > q.Stats.HighWaterBytes {
+		q.Stats.HighWaterBytes = hw
+	}
 	if !q.busy {
 		q.transmitNext()
 	}

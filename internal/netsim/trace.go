@@ -18,13 +18,50 @@ type HopEvent struct {
 }
 
 // Tracer records the hop-by-hop path of selected packets. It attaches
-// to every queue's OnEnqueue hook; use it in tests and debugging, not
-// on multi-second simulations of full meshes (every match allocates).
+// to every queue's OnEnqueue hook, chaining (and on Detach restoring)
+// whatever hook was installed before it.
+//
+// Hop slices are carved out of preallocated chunks sized for the worst
+// 3-tier path, so steady-state tracing costs one map insert per
+// matched packet and no per-hop allocation. It still retains every
+// hop of every matched packet, which is the right tool for inspecting
+// individual paths in tests and debugging — for whole-run accounting
+// (delay distributions, violation counts, queue high-water marks) use
+// the obs wiring instead: Network.AttachDelayAudit aggregates delays
+// per tenant in place via Host.OnDeliver, and queue high-water marks
+// are maintained unconditionally in Queue.Enqueue. Neither touches
+// OnEnqueue, so the tracer composes with them freely.
 type Tracer struct {
 	nw     *Network
 	filter func(*Packet) bool
 	hops   map[uint64][]HopEvent
 	prev   []func(*Packet, int)
+
+	// backing is the current preallocation chunk; each newly traced
+	// packet receives a capacity-limited sub-slice so appends beyond
+	// tracerMaxHops fall back to ordinary slice growth instead of
+	// clobbering a neighbour.
+	backing []HopEvent
+	next    int
+}
+
+// tracerMaxHops is the longest loop-free path in the 3-tier tree:
+// NIC, ToR up, pod up, core down, pod down, ToR down.
+const tracerMaxHops = 6
+
+// tracerChunkPackets sizes preallocation chunks (packets per chunk).
+const tracerChunkPackets = 1024
+
+// newHopSlice returns an empty hop slice with capacity tracerMaxHops
+// carved from the current chunk.
+func (t *Tracer) newHopSlice() []HopEvent {
+	if t.next+tracerMaxHops > len(t.backing) {
+		t.backing = make([]HopEvent, tracerMaxHops*tracerChunkPackets)
+		t.next = 0
+	}
+	s := t.backing[t.next:t.next : t.next+tracerMaxHops]
+	t.next += tracerMaxHops
+	return s
 }
 
 // AttachTracer installs a tracer on all of a network's queues. filter
@@ -51,7 +88,11 @@ func AttachTracer(nw *Network, filter func(*Packet) bool) *Tracer {
 			if t.filter != nil && !t.filter(p) {
 				return
 			}
-			t.hops[p.ID] = append(t.hops[p.ID], HopEvent{PortID: pid, At: nw.Sim.Now(), OccupiedBytes: occ})
+			hops, seen := t.hops[p.ID]
+			if !seen {
+				hops = t.newHopSlice()
+			}
+			t.hops[p.ID] = append(hops, HopEvent{PortID: pid, At: nw.Sim.Now(), OccupiedBytes: occ})
 		}
 	}
 	return t

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// GuaranteeAuditor cross-references live measurements against the
+// {B, S, d} triples admission control granted. It is the runtime
+// counterpart of the placement manager's admission math: placement
+// proves the guarantee holds in the worst case; the auditor verifies
+// the running system never contradicts the proof.
+//
+// Per admitted tenant it tracks:
+//
+//   - a NIC-to-NIC delay histogram (microsecond power-of-two buckets),
+//   - the exact maximum observed delay in nanoseconds,
+//   - a violation counter: packets whose delay exceeded the admitted
+//     bound d (always zero if Silo is correct),
+//   - an arrival-curve conformance counter fed by the pacer: packets
+//     the token buckets had to delay because the VM offered more than
+//     B·t + S (each is a would-be violation the pacer averted).
+//
+// ObserveDelay is safe for concurrent use and performs no allocation;
+// tenant state lives in a copy-on-write map so the read path is one
+// atomic load and a map lookup. The auditor works with or without a
+// Registry: metrics registration is skipped when reg is nil, while the
+// audit itself (violation counting, Summary) still runs — this is what
+// lets every silo-sim run double as an audit even with -metrics unset.
+// A nil *GuaranteeAuditor disables everything at one branch per call.
+type GuaranteeAuditor struct {
+	reg     *Registry
+	mu      sync.Mutex   // serializes Admit
+	tenants atomic.Value // map[int]*TenantAudit, copy-on-write
+}
+
+// TenantAudit is the live audit state for one admitted tenant.
+type TenantAudit struct {
+	ID int
+	// Admitted guarantee: B (bytes/sec), S (bytes), d (ns; 0 = no
+	// delay bound, delay is tracked but never a violation).
+	BandwidthBps float64
+	BurstBytes   float64
+	DelayBoundNs int64
+
+	// DelayUs is the per-tenant NIC-to-NIC delay histogram in µs.
+	DelayUs *Histogram
+	// Violations counts packets over the admitted delay bound.
+	Violations *Counter
+	// CurveDelayed counts packets the pacer delayed to keep the
+	// tenant's arrival curve conformant (offered load exceeded {B,S}).
+	CurveDelayed *Counter
+	// MaxDelayNs tracks the exact worst delay in nanoseconds.
+	MaxDelayNs *Gauge
+	// Packets counts audited packets.
+	Packets *Counter
+}
+
+// NewGuaranteeAuditor returns an auditor. reg may be nil: the audit
+// still runs, it is just not exported through a registry.
+func NewGuaranteeAuditor(reg *Registry) *GuaranteeAuditor {
+	a := &GuaranteeAuditor{reg: reg}
+	a.tenants.Store(map[int]*TenantAudit{})
+	return a
+}
+
+// Admit registers a tenant's guarantee for auditing. delayBoundSec is
+// the admitted NIC-to-NIC bound d in seconds (<= 0 means the tenant
+// has no delay SLO; its delay distribution is still recorded).
+// Admitting the same tenant twice returns the existing state.
+func (a *GuaranteeAuditor) Admit(id int, bandwidthBps, burstBytes, delayBoundSec float64) *TenantAudit {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cur := a.tenants.Load().(map[int]*TenantAudit)
+	if t, ok := cur[id]; ok {
+		return t
+	}
+	label := fmt.Sprintf("%d", id)
+	var boundNs int64
+	if delayBoundSec > 0 {
+		boundNs = int64(delayBoundSec * 1e9)
+	}
+	t := &TenantAudit{
+		ID:           id,
+		BandwidthBps: bandwidthBps,
+		BurstBytes:   burstBytes,
+		DelayBoundNs: boundNs,
+	}
+	if a.reg != nil {
+		t.DelayUs = a.reg.Histogram("silo_audit_delay_us",
+			"per-tenant NIC-to-NIC packet delay (µs, power-of-two buckets)", "tenant", label)
+		t.Violations = a.reg.Counter("silo_audit_delay_violations_total",
+			"packets whose NIC-to-NIC delay exceeded the admitted bound d", "tenant", label)
+		t.CurveDelayed = a.reg.Counter("silo_audit_curve_delayed_total",
+			"packets delayed by the pacer to keep the arrival curve within {B,S}", "tenant", label)
+		t.MaxDelayNs = a.reg.Gauge("silo_audit_max_delay_ns",
+			"exact worst observed NIC-to-NIC delay", "tenant", label)
+		t.Packets = a.reg.Counter("silo_audit_packets_total",
+			"packets audited for the tenant", "tenant", label)
+		a.reg.Gauge("silo_audit_delay_bound_ns",
+			"admitted NIC-to-NIC delay bound d (0 = none)", "tenant", label).Set(boundNs)
+	} else {
+		// No registry: allocate standalone metrics so the audit and
+		// Summary still work.
+		t.DelayUs = &Histogram{}
+		t.Violations = &Counter{}
+		t.CurveDelayed = &Counter{}
+		t.MaxDelayNs = &Gauge{}
+		t.Packets = &Counter{}
+	}
+	next := make(map[int]*TenantAudit, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[id] = t
+	a.tenants.Store(next)
+	return t
+}
+
+// Tenant returns the audit state for a tenant, if admitted.
+func (a *GuaranteeAuditor) Tenant(id int) (*TenantAudit, bool) {
+	if a == nil {
+		return nil, false
+	}
+	t, ok := a.tenants.Load().(map[int]*TenantAudit)[id]
+	return t, ok
+}
+
+// ObserveDelay records one packet's NIC-to-NIC delay for a tenant.
+// Unknown tenants are ignored. Zero allocations.
+func (a *GuaranteeAuditor) ObserveDelay(id int, delayNs int64) {
+	if a == nil {
+		return
+	}
+	t, ok := a.tenants.Load().(map[int]*TenantAudit)[id]
+	if !ok {
+		return
+	}
+	t.Packets.Inc()
+	t.DelayUs.Observe(delayNs / 1000)
+	t.MaxDelayNs.SetMax(delayNs)
+	if t.DelayBoundNs > 0 && delayNs > t.DelayBoundNs {
+		t.Violations.Inc()
+	}
+}
+
+// Tenants returns the admitted tenants sorted by ID.
+func (a *GuaranteeAuditor) Tenants() []*TenantAudit {
+	if a == nil {
+		return nil
+	}
+	m := a.tenants.Load().(map[int]*TenantAudit)
+	out := make([]*TenantAudit, 0, len(m))
+	for _, t := range m {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// TotalViolations sums delay-bound violations over all tenants.
+func (a *GuaranteeAuditor) TotalViolations() int64 {
+	var n int64
+	for _, t := range a.Tenants() {
+		n += t.Violations.Value()
+	}
+	return n
+}
+
+// Summary renders the one-line guarantee audit: per delay-bounded
+// tenant, packets observed, worst delay vs the bound, and the
+// violation count. Tenants without a bound are folded into a trailing
+// unbounded tally.
+func (a *GuaranteeAuditor) Summary() string {
+	if a == nil {
+		return "guarantee audit: disabled"
+	}
+	var parts []string
+	var unboundedPkts int64
+	unbounded := 0
+	for _, t := range a.Tenants() {
+		if t.DelayBoundNs == 0 {
+			unbounded++
+			unboundedPkts += t.Packets.Value()
+			continue
+		}
+		parts = append(parts, fmt.Sprintf(
+			"tenant %d: packets=%d maxDelay=%.1fµs bound=%.1fµs violations=%d",
+			t.ID, t.Packets.Value(),
+			float64(t.MaxDelayNs.Value())/1e3, float64(t.DelayBoundNs)/1e3,
+			t.Violations.Value()))
+	}
+	if len(parts) == 0 && unbounded == 0 {
+		return "guarantee audit: no tenants admitted"
+	}
+	s := "guarantee audit: " + strings.Join(parts, "; ")
+	if unbounded > 0 {
+		if len(parts) > 0 {
+			s += "; "
+		}
+		s += fmt.Sprintf("%d tenant(s) without delay bound (%d packets observed)", unbounded, unboundedPkts)
+	}
+	return s
+}

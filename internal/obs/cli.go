@@ -1,0 +1,36 @@
+package obs
+
+import "fmt"
+
+// StartCLI implements the standard telemetry wiring shared by the silo
+// binaries' -metrics and -http flags:
+//
+//   - both empty: telemetry disabled — returns a nil registry (every
+//     instrumentation site then costs one branch) and a no-op finish.
+//   - httpAddr set: a debug server (/metrics, /debug/vars,
+//     /debug/pprof) runs until finish is called.
+//   - metricsPath set: finish exports the registry there ("-" writes
+//     Prometheus text to stdout, *.json writes expvar-style JSON, any
+//     other path Prometheus text).
+//
+// Call finish exactly once, after the run completes.
+func StartCLI(metricsPath, httpAddr string) (reg *Registry, finish func() error, err error) {
+	if metricsPath == "" && httpAddr == "" {
+		return nil, func() error { return nil }, nil
+	}
+	reg = NewRegistry()
+	var srv *DebugServer
+	if httpAddr != "" {
+		srv, err = ServeDebug(httpAddr, reg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("obs: debug server: %w", err)
+		}
+	}
+	finish = func() error {
+		if srv != nil {
+			_ = srv.Close()
+		}
+		return reg.WriteFile(metricsPath)
+	}
+	return reg, finish, nil
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Exporters. Two formats:
+//
+//   - Prometheus text exposition (WritePrometheus): counters and gauges
+//     as single samples, histograms as cumulative le-bucket families
+//     with _sum and _count, plus _min/_max gauges for the exact
+//     extremes the audit relies on.
+//   - expvar-compatible JSON (WriteExpvarJSON): one flat JSON object,
+//     scalar metrics as numbers keyed by "name{labels}", histograms as
+//     {"count":..,"sum":..,"min":..,"max":..,"buckets":{"le":count}}.
+//     The debug HTTP endpoint serves this at /debug/vars.
+
+// WritePrometheus writes the registry in Prometheus text exposition
+// format. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return writePrometheus(w, r.Snapshot())
+}
+
+// WritePrometheus writes a snapshot in Prometheus text format.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	return writePrometheus(w, s)
+}
+
+func writePrometheus(w io.Writer, snap Snapshot) error {
+	var b strings.Builder
+	lastName := ""
+	for _, e := range snap.sortedByName() {
+		if e.Name != lastName {
+			lastName = e.Name
+			if e.Help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", e.Name, e.Help)
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", e.Name, e.Kind)
+		}
+		switch e.Kind {
+		case KindCounter, KindGauge, KindGaugeFunc:
+			fmt.Fprintf(&b, "%s %s\n", metricKey(e.Name, e.Labels), formatFloat(e.Value))
+		case KindHistogram:
+			writePromHistogram(&b, e)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writePromHistogram emits the cumulative bucket family for one
+// histogram. Only occupied buckets (plus +Inf) are emitted: with
+// power-of-two buckets the 64-entry family would otherwise be mostly
+// zeros.
+func writePromHistogram(b *strings.Builder, e SnapEntry) {
+	h := e.Hist
+	var cum int64
+	for i, c := range h.Buckets {
+		cum += c
+		if c == 0 {
+			continue
+		}
+		labels := append(append([]string(nil), e.Labels...), "le", strconv.FormatInt(BucketUpperBound(i), 10))
+		fmt.Fprintf(b, "%s %d\n", metricKey(e.Name+"_bucket", labels), cum)
+	}
+	inf := append(append([]string(nil), e.Labels...), "le", "+Inf")
+	fmt.Fprintf(b, "%s %d\n", metricKey(e.Name+"_bucket", inf), h.Count)
+	fmt.Fprintf(b, "%s %d\n", metricKey(e.Name+"_sum", e.Labels), h.Sum)
+	fmt.Fprintf(b, "%s %d\n", metricKey(e.Name+"_count", e.Labels), h.Count)
+	fmt.Fprintf(b, "%s %d\n", metricKey(e.Name+"_min", e.Labels), h.Min)
+	fmt.Fprintf(b, "%s %d\n", metricKey(e.Name+"_max", e.Labels), h.Max)
+}
+
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteExpvarJSON writes the registry as one flat JSON object in the
+// style of expvar: {"metric{label=\"v\"}": value, ...}. A nil registry
+// writes an empty object.
+func (r *Registry) WriteExpvarJSON(w io.Writer) error {
+	return writeExpvarJSON(w, r.Snapshot())
+}
+
+// WriteExpvarJSON writes a snapshot as expvar-style JSON.
+func (s Snapshot) WriteExpvarJSON(w io.Writer) error {
+	return writeExpvarJSON(w, s)
+}
+
+func writeExpvarJSON(w io.Writer, snap Snapshot) error {
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, e := range snap.Entries {
+		if i > 0 {
+			b.WriteString(",\n")
+		}
+		fmt.Fprintf(&b, "%q: ", e.Key())
+		switch e.Kind {
+		case KindCounter, KindGauge, KindGaugeFunc:
+			b.WriteString(formatFloat(e.Value))
+		case KindHistogram:
+			h := e.Hist
+			fmt.Fprintf(&b, `{"count": %d, "sum": %d, "min": %d, "max": %d, "buckets": {`,
+				h.Count, h.Sum, h.Min, h.Max)
+			first := true
+			for bi, c := range h.Buckets {
+				if c == 0 {
+					continue
+				}
+				if !first {
+					b.WriteString(", ")
+				}
+				first = false
+				fmt.Fprintf(&b, `"%d": %d`, BucketUpperBound(bi), c)
+			}
+			b.WriteString("}}")
+		}
+	}
+	b.WriteString("\n}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteFile exports the registry to path: "-" writes Prometheus text
+// to stdout; a path ending in ".json" writes expvar-style JSON; any
+// other path writes Prometheus text. A nil registry is a no-op.
+func (r *Registry) WriteFile(path string) error {
+	if r == nil || path == "" {
+		return nil
+	}
+	if path == "-" {
+		return r.WritePrometheus(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var werr error
+	if strings.HasSuffix(path, ".json") {
+		werr = r.WriteExpvarJSON(f)
+	} else {
+		werr = r.WritePrometheus(f)
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}

@@ -45,6 +45,9 @@ type Batcher struct {
 	// are sent back-to-back from the top of the batch, as a plain
 	// batching NIC would.
 	DisableVoids bool
+	// Metrics, if set, observes every non-empty batch (batch, byte and
+	// frame counters). nil costs one branch per Build.
+	Metrics *BatchMetrics
 }
 
 // NewBatcher returns a batcher with the paper's defaults for the given
@@ -118,6 +121,7 @@ func (b *Batcher) Build(start int64, vms []*VM) *Batch {
 		cursor += b.wireNs(p.Bytes)
 	}
 	batch.End = cursor
+	b.Metrics.noteBatch(batch)
 	return batch
 }
 

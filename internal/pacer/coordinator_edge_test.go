@@ -1,0 +1,93 @@
+package pacer
+
+import (
+	"math"
+	"testing"
+)
+
+// Epoch at t=0 with lastEpoch=0 has a zero-length measurement window.
+// Demand-aware allocation must skip demand estimation (no division by
+// zero) and fall back to plain max-min over active flows.
+func TestCoordinatorEpochAtTimeZero(t *testing.T) {
+	const b = 1e8
+	vms := coordVMs(3, b)
+	c := NewCoordinator(b, vms)
+	c.DemandAware = true
+	vms[1].Enqueue(0, 0, 1500, nil)
+	vms[2].Enqueue(0, 0, 1500, nil)
+	if got := c.Epoch(0); got != 2 {
+		t.Fatalf("active flows = %d, want 2", got)
+	}
+	for _, src := range []int{1, 2} {
+		r := vms[src].DestRate(0)
+		if math.IsNaN(r) || math.IsInf(r, 0) || r <= 0 {
+			t.Errorf("VM %d rate = %v after zero-length epoch", src, r)
+		}
+		if math.Abs(r-b/2) > 1 {
+			t.Errorf("VM %d rate = %v, want max-min share %v", src, r, b/2)
+		}
+	}
+}
+
+// A clock stepping backwards (negative skew) yields a negative epoch
+// length. The coordinator must neither panic nor install negative or
+// non-finite rates, and must keep functioning on subsequent forward
+// epochs.
+func TestCoordinatorNegativeClockSkew(t *testing.T) {
+	const b = 1e8
+	vms := coordVMs(3, b)
+	c := NewCoordinator(b, vms)
+	c.DemandAware = true
+
+	vms[1].Enqueue(0, 0, 1500, nil)
+	c.Epoch(1_000_000_000)
+
+	// Clock steps back half a second; the flow is still backlogged.
+	vms[1].Enqueue(500_000_000, 0, 1500, nil)
+	vms[2].Enqueue(500_000_000, 0, 1500, nil)
+	if got := c.Epoch(500_000_000); got != 2 {
+		t.Fatalf("active flows = %d, want 2", got)
+	}
+	for _, src := range []int{1, 2} {
+		r := vms[src].DestRate(0)
+		if math.IsNaN(r) || math.IsInf(r, 0) || r <= 0 {
+			t.Fatalf("VM %d rate = %v after negative-skew epoch", src, r)
+		}
+	}
+
+	// The next forward epoch measures from the stepped-back time and
+	// recovers demand-aware operation.
+	if got := c.Epoch(2_500_000_000); got != 2 {
+		t.Fatalf("active flows after recovery = %d, want 2", got)
+	}
+	for _, src := range []int{1, 2} {
+		r := vms[src].DestRate(0)
+		if math.IsNaN(r) || math.IsInf(r, 0) || r <= 0 {
+			t.Errorf("VM %d rate = %v after recovery epoch", src, r)
+		}
+	}
+}
+
+// Repeated epochs at the same timestamp (a stuck clock) produce
+// zero-length measurement windows after the first call. Demand
+// estimation is skipped for those, so the flow reverts to its full
+// uncapped hose share rather than a rate derived from a 0/0 demand.
+func TestCoordinatorStuckClock(t *testing.T) {
+	const b = 1e8
+	vms := coordVMs(2, b)
+	c := NewCoordinator(b, vms)
+	c.DemandAware = true
+	vms[1].Enqueue(0, 0, 1500, nil)
+	for i := 0; i < 3; i++ {
+		if got := c.Epoch(7_000_000); got != 1 {
+			t.Fatalf("iteration %d: active = %d, want 1", i, got)
+		}
+		r := vms[1].DestRate(0)
+		if math.IsNaN(r) || math.IsInf(r, 0) || r <= 0 {
+			t.Fatalf("iteration %d: rate = %v", i, r)
+		}
+		if i > 0 && math.Abs(r-b) > 1 {
+			t.Errorf("iteration %d: rate = %v, want uncapped hose share %v", i, r, float64(b))
+		}
+	}
+}

@@ -75,6 +75,9 @@ type VM struct {
 	// Demand accounting for the hose coordinator.
 	queuedBytes map[int]int64 // per-destination bytes awaiting commit
 	sentBytes   map[int]int64 // per-destination cumulative committed bytes
+
+	queuedTotal int64      // bytes awaiting commit across all destinations
+	mx          *VMMetrics // nil = uninstrumented (one branch per event)
 }
 
 // NewVM returns a pacer for one VM, with buckets full at time start.
@@ -100,6 +103,9 @@ func NewVM(id int, g Guarantee, start int64) *VM {
 
 // Guarantee returns the VM's pacer configuration.
 func (v *VM) Guarantee() Guarantee { return v.g }
+
+// SetMetrics attaches (or detaches, with nil) telemetry to the VM.
+func (v *VM) SetMetrics(m *VMMetrics) { v.mx = m }
 
 // QueuedBytesTo reports bytes awaiting release toward dst.
 func (v *VM) QueuedBytesTo(dst int) int64 { return v.queuedBytes[dst] }
@@ -170,6 +176,8 @@ func (v *VM) Enqueue(now int64, dstVM, bytes int, ref interface{}) *Packet {
 	v.queues[dstVM] = append(v.queues[dstVM], p)
 	v.queued++
 	v.queuedBytes[dstVM] += int64(bytes)
+	v.queuedTotal += int64(bytes)
+	v.mx.noteQueued(v.queuedTotal)
 	return p
 }
 
@@ -223,6 +231,7 @@ func (v *VM) Schedule(upTo int64) {
 		v.queued--
 		v.queuedBytes[bestDst] -= int64(p.Bytes)
 		v.sentBytes[bestDst] += int64(p.Bytes)
+		v.queuedTotal -= int64(p.Bytes)
 		// Commit through the chain at the final release time.
 		if b, ok := v.dst[p.DstVM]; ok {
 			b.Commit(bestR, p.Bytes)
@@ -230,6 +239,7 @@ func (v *VM) Schedule(upTo int64) {
 		v.avg.Commit(bestR, p.Bytes)
 		v.cap.Commit(bestR, p.Bytes)
 		p.Release = bestR
+		v.mx.noteCommit(p, bestR, v.queuedTotal)
 		heap.Push(&v.ready, p)
 	}
 	if upTo > v.horizon {

@@ -1,0 +1,158 @@
+package placement
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metrics instruments the Silo placement manager. All observation
+// methods are nil-safe; an uninstrumented manager pays one branch per
+// Place/Remove.
+//
+// Metric names:
+//
+//	silo_place_admission_us              admission latency histogram
+//	                                     (wall clock, accepted and
+//	                                     rejected requests alike)
+//	silo_place_accepted_total            admitted requests
+//	silo_place_rejected_total{reason=}   rejections, reason "no-fit"
+//	                                     (admission control found no
+//	                                     placement) or "invalid" (bad
+//	                                     spec, duplicate tenant)
+//	silo_place_path_total{path=}         requests served by the "fast"
+//	                                     (cached-bound) or "reference"
+//	                                     (NoFastPath) admission path
+//	silo_place_removed_total             tenants released
+//
+// EnableMetrics additionally registers pull-time headroom gauges (see
+// there).
+type Metrics struct {
+	AdmissionUs   *obs.Histogram
+	Accepted      *obs.Counter
+	RejectedNoFit *obs.Counter
+	RejectedOther *obs.Counter
+	FastPath      *obs.Counter
+	RefPath       *obs.Counter
+	Removed       *obs.Counter
+}
+
+// NewMetrics registers the placement metrics. A nil registry returns
+// nil.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		AdmissionUs: reg.Histogram("silo_place_admission_us",
+			"admission-control latency per request (µs, wall clock)"),
+		Accepted: reg.Counter("silo_place_accepted_total",
+			"tenant requests admitted"),
+		RejectedNoFit: reg.Counter("silo_place_rejected_total",
+			"tenant requests rejected", "reason", "no-fit"),
+		RejectedOther: reg.Counter("silo_place_rejected_total",
+			"tenant requests rejected", "reason", "invalid"),
+		FastPath: reg.Counter("silo_place_path_total",
+			"requests served per admission path", "path", "fast"),
+		RefPath: reg.Counter("silo_place_path_total",
+			"requests served per admission path", "path", "reference"),
+		Removed: reg.Counter("silo_place_removed_total",
+			"tenants released"),
+	}
+}
+
+// notePlace records one admission request's outcome and latency.
+func (mx *Metrics) notePlace(elapsed time.Duration, err error, noFastPath bool) {
+	if mx == nil {
+		return
+	}
+	mx.AdmissionUs.Observe(elapsed.Microseconds())
+	switch {
+	case err == nil:
+		mx.Accepted.Inc()
+	case errors.Is(err, ErrRejected):
+		mx.RejectedNoFit.Inc()
+	default:
+		mx.RejectedOther.Inc()
+	}
+	if noFastPath {
+		mx.RefPath.Inc()
+	} else {
+		mx.FastPath.Inc()
+	}
+}
+
+func (mx *Metrics) noteRemove() {
+	if mx == nil {
+		return
+	}
+	mx.Removed.Inc()
+}
+
+// EnableMetrics attaches telemetry to the manager and registers the
+// port-headroom gauges. With ~10^6 directed ports at datacenter scale
+// a literal per-port gauge family is unexportable, so headroom is
+// summarized per port family as pull-time minima: the family's
+// tightest remaining slack, in seconds of queue capacity
+// (capacity − current queue bound).
+//
+//	silo_place_headroom_seconds{family="nic-up"|"tor-down"|"all"}
+//	silo_place_min_headroom_port   directed-port ID of the overall
+//	                               minimum (the fabric's bottleneck)
+//
+// The gauge functions read manager state without synchronization;
+// exporting while another goroutine admits tenants yields advisory
+// (possibly torn) values. The bundled CLIs export after their
+// admission loops finish, where the values are exact.
+//
+// A nil registry detaches instrumentation and returns nil.
+func (m *Manager) EnableMetrics(reg *obs.Registry) *Metrics {
+	m.mx = NewMetrics(reg)
+	if reg == nil {
+		return nil
+	}
+	minOver := func(lo, hi int) float64 {
+		minH := math.Inf(1)
+		for pid := lo; pid < hi; pid++ {
+			if h := m.portCap[pid] - m.QueueBound(pid); h < minH {
+				minH = h
+			}
+		}
+		if math.IsInf(minH, 1) {
+			return 0
+		}
+		return minH
+	}
+	reg.GaugeFunc("silo_place_headroom_seconds",
+		"tightest remaining queue-capacity slack in the port family (s)",
+		func() float64 { return minOver(m.upLo, m.upHi) },
+		"family", "nic-up")
+	reg.GaugeFunc("silo_place_headroom_seconds",
+		"tightest remaining queue-capacity slack in the port family (s)",
+		func() float64 { return minOver(m.downLo, m.downHi) },
+		"family", "tor-down")
+	reg.GaugeFunc("silo_place_headroom_seconds",
+		"tightest remaining queue-capacity slack in the port family (s)",
+		func() float64 { return minOver(0, len(m.portCap)) },
+		"family", "all")
+	reg.GaugeFunc("silo_place_min_headroom_port",
+		"directed-port ID with the least remaining slack",
+		func() float64 {
+			minH, minP := math.Inf(1), -1
+			for pid := range m.portCap {
+				if h := m.portCap[pid] - m.QueueBound(pid); h < minH {
+					minH, minP = h, pid
+				}
+			}
+			return float64(minP)
+		})
+	reg.GaugeFunc("silo_place_accepted",
+		"currently admitted request count",
+		func() float64 { return float64(m.Accepted()) })
+	reg.GaugeFunc("silo_place_rejected",
+		"cumulative rejected request count",
+		func() float64 { return float64(m.Rejected()) })
+	return m.mx
+}

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/netcal"
 	"repro/internal/tenant"
@@ -108,6 +109,10 @@ type Manager struct {
 
 	acceptedCount int
 	rejectedCount int
+
+	// mx is the optional telemetry bundle (EnableMetrics); nil costs
+	// one branch per Place/Remove.
+	mx *Metrics
 }
 
 type admittedTenant struct {
@@ -253,12 +258,25 @@ func (m *Manager) portTouched(pid int) {
 	}
 }
 
-// Place implements Algorithm. Placement proceeds scope by scope —
-// single server, then each rack, each pod, then the whole datacenter —
-// and within a scope first packs greedily and then, if the packed
-// layout violates a queuing constraint, retries with an even spread
-// (paper Figure 5: 3/3/3 beats 4/4/1).
+// Place implements Algorithm. When metrics are attached it also times
+// the request and classifies its outcome; without them the wrapper is
+// one branch (no clock reads).
 func (m *Manager) Place(spec tenant.Spec) (*tenant.Placement, error) {
+	if m.mx == nil {
+		return m.place(spec)
+	}
+	start := time.Now()
+	pl, err := m.place(spec)
+	m.mx.notePlace(time.Since(start), err, m.opts.NoFastPath)
+	return pl, err
+}
+
+// place runs admission control and placement. It proceeds scope by
+// scope — single server, then each rack, each pod, then the whole
+// datacenter — and within a scope first packs greedily and then, if
+// the packed layout violates a queuing constraint, retries with an
+// even spread (paper Figure 5: 3/3/3 beats 4/4/1).
+func (m *Manager) place(spec tenant.Spec) (*tenant.Placement, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -296,6 +314,7 @@ func (m *Manager) Remove(id int) error {
 	if !ok {
 		return fmt.Errorf("%w: id %d", ErrUnknownTenant, id)
 	}
+	m.mx.noteRemove()
 	for pid, c := range at.contribs {
 		m.ports[pid].remove(c)
 		m.portTouched(pid)

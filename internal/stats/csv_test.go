@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSVFormatting(t *testing.T) {
+	var b strings.Builder
+	err := WriteCSV(&b,
+		[]string{"x", "y", "z"},
+		[][]float64{{1, 2.5, 0.001}, {-3, 1e6, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "x,y,z\n1,2.5,0.001\n-3,1e+06,0\n"
+	if b.String() != want {
+		t.Errorf("got %q, want %q", b.String(), want)
+	}
+}
+
+func TestWriteCSVHeaderOnly(t *testing.T) {
+	var b strings.Builder
+	if err := WriteCSV(&b, []string{"a", "b"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "a,b\n" {
+		t.Errorf("got %q", b.String())
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n--
+	if w.n < 0 {
+		return 0, os.ErrClosed
+	}
+	return len(p), nil
+}
+
+func TestWriteCSVPropagatesErrors(t *testing.T) {
+	// Fail on the header and on the first row respectively.
+	for _, okWrites := range []int{0, 1} {
+		err := WriteCSV(&failWriter{n: okWrites}, []string{"a"}, [][]float64{{1}})
+		if err == nil {
+			t.Errorf("okWrites=%d: writer error swallowed", okWrites)
+		}
+	}
+}
+
+func TestWriteCSVFileNestedDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "out")
+	err := WriteCSVFile(dir, "series.csv",
+		[]string{"v", "f"}, [][]float64{{10, 0.5}, {20, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "series.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(b); got != "v,f\n10,0.5\n20,1\n" {
+		t.Errorf("file contents %q", got)
+	}
+}
+
+func TestWriteCSVFileBadDir(t *testing.T) {
+	// A file where the directory should be makes MkdirAll fail.
+	tmp := t.TempDir()
+	blocker := filepath.Join(tmp, "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSVFile(blocker, "x.csv", []string{"a"}, nil); err == nil {
+		t.Error("expected error when dir path is a file")
+	}
+}
+
+func TestCDFRowsMonotonic(t *testing.T) {
+	s := NewSample(100)
+	for v := 1; v <= 100; v++ {
+		s.Add(float64(v))
+	}
+	rows := s.CDFRows(5)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for i, r := range rows {
+		if len(r) != 2 {
+			t.Fatalf("row %d has %d columns, want 2", i, len(r))
+		}
+		if r[1] < 0 || r[1] > 1 {
+			t.Errorf("row %d fraction %v out of [0,1]", i, r[1])
+		}
+		if i > 0 && (r[0] < rows[i-1][0] || r[1] < rows[i-1][1]) {
+			t.Errorf("row %d not monotonic: %v after %v", i, r, rows[i-1])
+		}
+	}
+	last := rows[len(rows)-1]
+	if last[0] != 100 || last[1] != 1 {
+		t.Errorf("last row = %v, want [100 1]", last)
+	}
+}
