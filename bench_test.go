@@ -62,6 +62,40 @@ func BenchmarkFig5Placement(b *testing.B) {
 	}
 }
 
+// benchFig5Sim runs the packet-level Figure-5 companion at a given
+// flight-recorder sampling divisor (0 = tracing off).
+func benchFig5Sim(b *testing.B, sampleN int) {
+	p := experiments.DefaultFigure5SimParams()
+	p.TraceSampleN = sampleN
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFigure5Sim(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Drops != 0 {
+			b.Fatalf("drops = %d, want 0", r.Drops)
+		}
+		b.ReportMetric(float64(r.Messages), "messages")
+		if sampleN > 0 {
+			b.ReportMetric(float64(r.Flight.Complete), "spans")
+		}
+	}
+}
+
+// BenchmarkFig5SimBaseline is the tracing-off control for the flight
+// recorder overhead comparison (see BenchmarkFig5SimTraced1in64):
+// the Figure-5 worst-case burst scenario simulated packet by packet.
+func BenchmarkFig5SimBaseline(b *testing.B) { benchFig5Sim(b, 0) }
+
+// BenchmarkFig5SimTraced1in64 runs the same simulation with the
+// flight recorder attached at the production sampling rate (1 in 64
+// packets). The acceptance bar is ≤5% ns/op overhead vs baseline.
+func BenchmarkFig5SimTraced1in64(b *testing.B) { benchFig5Sim(b, 64) }
+
+// BenchmarkFig5SimTracedAll traces every packet — the worst-case
+// recorder cost, used for Figure-5 attribution summaries.
+func BenchmarkFig5SimTracedAll(b *testing.B) { benchFig5Sim(b, 1) }
+
 // BenchmarkFig10Pacer regenerates Figure 10: pacer throughput split
 // and per-frame cost across rate limits.
 func BenchmarkFig10Pacer(b *testing.B) {

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -62,6 +63,23 @@ func main() {
 	flag.Parse()
 	outdir = *outFlag
 	benchJSON = *benchOut
+
+	for _, f := range []struct{ name, path string }{
+		{"-metrics", *metricsOut}, {"-bench-json", *benchOut},
+	} {
+		if err := obs.ValidateOutputPath(f.name, f.path); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	if *outFlag != "" {
+		// writeCSV MkdirAlls on every write; do it once up front so an
+		// uncreatable path (e.g. a file in the way) fails before the run.
+		if err := os.MkdirAll(*outFlag, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "-outdir: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	var finishObs func() error
 	var err error
@@ -166,6 +184,20 @@ func runFig5() error {
 		return err
 	}
 	fmt.Print(r.Render())
+	fmt.Println("packet-level check — synchronized worst-case bursts with latency attribution:")
+	rs, err := experiments.RunFigure5Sim(experiments.DefaultFigure5SimParams())
+	if err != nil {
+		return err
+	}
+	fmt.Print(rs.Render())
+	if outdir != "" && len(rs.Spans) > 0 {
+		path := filepath.Join(outdir, "fig5_trace.json")
+		if err := obs.WriteTraceFile(path, rs.Ports, rs.Spans); err != nil {
+			fmt.Fprintf(os.Stderr, "fig5 trace: %v\n", err)
+		} else {
+			fmt.Printf("flight trace written to %s (inspect with silo-trace)\n", path)
+		}
+	}
 	return nil
 }
 
@@ -175,9 +207,11 @@ func runFig10() error {
 	fmt.Print(experiments.RenderFigure10(rows10))
 	var rows [][]float64
 	for _, r := range rows10 {
-		rows = append(rows, []float64{r.RateGbps, r.DataGbps, r.VoidGbps, r.PacketsPerSec, r.NsPerPacket})
+		rows = append(rows, []float64{r.RateGbps, r.DataGbps, r.VoidGbps, r.PacketsPerSec, r.NsPerPacket,
+			r.PctGateAvg, r.PctGateCap, r.MeanTokenWaitUs})
 	}
-	writeCSV("fig10.csv", []string{"limit_gbps", "data_gbps", "void_gbps", "frames_per_s", "ns_per_frame"}, rows)
+	writeCSV("fig10.csv", []string{"limit_gbps", "data_gbps", "void_gbps", "frames_per_s", "ns_per_frame",
+		"gate_avg_pct", "gate_cap_pct", "token_wait_us"}, rows)
 	return nil
 }
 

@@ -49,6 +49,11 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := obs.ValidateOutputPath("-metrics", *metricsOut); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	reg, finishObs, err := obs.StartCLI(*metricsOut, *httpAddr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -30,17 +30,34 @@ const gbps = 1e9 / 8
 
 func main() {
 	var (
-		schemeName = flag.String("scheme", "silo", "scheme (silo|tcp|dctcp|hull|okto|okto+)")
-		duration   = flag.Float64("duration", 0.1, "simulated seconds")
-		racks      = flag.Int("racks", 2, "racks")
-		servers    = flag.Int("servers", 5, "servers per rack")
-		vmsA       = flag.Int("vms-a", 9, "VMs of the delay-sensitive tenant")
-		vmsB       = flag.Int("vms-b", 9, "VMs of the bulk tenant")
-		seed       = flag.Uint64("seed", 3, "rng seed")
-		metricsOut = flag.String("metrics", "", "export metrics on exit (\"-\" = Prometheus to stdout, *.json = expvar JSON, else Prometheus to file)")
-		httpAddr   = flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
+		schemeName  = flag.String("scheme", "silo", "scheme (silo|tcp|dctcp|hull|okto|okto+)")
+		duration    = flag.Float64("duration", 0.1, "simulated seconds")
+		racks       = flag.Int("racks", 2, "racks")
+		servers     = flag.Int("servers", 5, "servers per rack")
+		vmsA        = flag.Int("vms-a", 9, "VMs of the delay-sensitive tenant")
+		vmsB        = flag.Int("vms-b", 9, "VMs of the bulk tenant")
+		seed        = flag.Uint64("seed", 3, "rng seed")
+		metricsOut  = flag.String("metrics", "", "export metrics on exit (\"-\" = Prometheus to stdout, *.json = expvar JSON, else Prometheus to file)")
+		httpAddr    = flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
+		traceOut    = flag.String("trace", "", "record a flight trace and write it on exit (*.json = Chrome trace_event for Perfetto + silo-trace, *.csv = compact spans)")
+		traceSample = flag.Int("trace-sample", 1, "flight-trace sampling divisor: record 1 in N packets (rounded up to a power of two)")
 	)
 	flag.Parse()
+
+	// Validate output destinations before the run, so a typo'd path
+	// fails in milliseconds instead of after the simulation.
+	for _, f := range []struct{ name, path string }{
+		{"-metrics", *metricsOut}, {"-trace", *traceOut},
+	} {
+		if err := obs.ValidateOutputPath(f.name, f.path); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	if *traceSample < 1 {
+		fmt.Fprintf(os.Stderr, "-trace-sample: must be >= 1, got %d\n", *traceSample)
+		os.Exit(2)
+	}
 
 	reg, finishObs, err := obs.StartCLI(*metricsOut, *httpAddr)
 	if err != nil {
@@ -113,7 +130,7 @@ func main() {
 	depA.EnableTelemetry(nw, reg, audit, bm)
 	depB.EnableTelemetry(nw, reg, audit, bm)
 	nw.RegisterMetrics(reg)
-	nw.AttachDelayAudit(audit, func(vmID int) (int, bool) {
+	tenantOf := func(vmID int) (int, bool) {
 		switch {
 		case vmID >= 1000 && vmID < 1000+*vmsA:
 			return specA.ID, true
@@ -121,7 +138,14 @@ func main() {
 			return specB.ID, true
 		}
 		return 0, false
-	})
+	}
+	nw.AttachDelayAudit(audit, tenantOf)
+
+	var flight *obs.FlightRecorder
+	if *traceOut != "" {
+		flight = obs.NewFlightRecorder(0, *traceSample)
+		netsim.AttachFlightRecorder(nw, flight)
+	}
 
 	if scheme.Paced() {
 		experiments.CoordinateHose(nw, depA, workload.AllToOne(*vmsA), experiments.HoseFairShare)
@@ -190,6 +214,24 @@ func main() {
 		}
 	}
 	fmt.Println(audit.Summary())
+	if flight != nil {
+		ports := nw.PortMeta()
+		spans := obs.AssembleFlight(flight.Events(), ports)
+		violations := obs.AnnotateSpans(spans, audit, tenantOf)
+		fmt.Println(obs.SummarizeFlight(spans).Render())
+		for i, v := range violations {
+			if i >= 3 {
+				fmt.Printf("... %d more violations in the trace file\n", len(violations)-3)
+				break
+			}
+			fmt.Print(obs.RenderSpan(v, ports))
+		}
+		if err := obs.WriteTraceFile(*traceOut, ports, spans); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("flight trace (1 in %d packets) written to %s\n", flight.SampleN(), *traceOut)
+	}
 	if err := finishObs(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -23,6 +23,14 @@ type Figure10Row struct {
 	NsPerPacket float64
 	// NsPerDataPacket amortizes over data frames only.
 	NsPerDataPacket float64
+	// Gate split: the fraction of data frames whose release was set by
+	// each token bucket (pacer Gate* attribution). A backlogged VM is
+	// gated by the {B, S} bucket almost always; the residue is the
+	// burst head (none) and the Bmax cap.
+	PctGateNone, PctGateDest, PctGateAvg, PctGateCap float64
+	// MeanTokenWaitUs is the mean enqueue-to-release pacing delay per
+	// data frame.
+	MeanTokenWaitUs float64
 }
 
 // Figure10Params configures the sweep.
@@ -78,6 +86,8 @@ func figure10Point(p Figure10Params, rateGbps float64) Figure10Row {
 		vm.Enqueue(0, 2, p.PayloadBytes, nil)
 	}
 	var dataBytes, voidBytes, frames, dataFrames int64
+	var gateCount [4]int64
+	var tokenWaitNs int64
 	var cursor int64
 	for cursor < horizonNs {
 		batch := b.Build(cursor, []*pacer.VM{vm})
@@ -88,6 +98,13 @@ func figure10Point(p Figure10Params, rateGbps float64) Figure10Row {
 		voidBytes += int64(batch.VoidBytes)
 		frames += int64(len(batch.Packets))
 		dataFrames += int64(batch.DataPackets())
+		for _, fp := range batch.Packets {
+			if fp.Void {
+				continue
+			}
+			gateCount[fp.Gate]++
+			tokenWaitNs += fp.Release - fp.EnqueuedAt()
+		}
 		cursor = batch.End
 	}
 	elapsed := time.Since(start)
@@ -107,6 +124,12 @@ func figure10Point(p Figure10Params, rateGbps float64) Figure10Row {
 	}
 	if dataFrames > 0 {
 		row.NsPerDataPacket = float64(elapsed.Nanoseconds()) / float64(dataFrames)
+		n := float64(dataFrames)
+		row.PctGateNone = 100 * float64(gateCount[pacer.GateNone]) / n
+		row.PctGateDest = 100 * float64(gateCount[pacer.GateDest]) / n
+		row.PctGateAvg = 100 * float64(gateCount[pacer.GateAvg]) / n
+		row.PctGateCap = 100 * float64(gateCount[pacer.GateCap]) / n
+		row.MeanTokenWaitUs = float64(tokenWaitNs) / n / 1e3
 	}
 	return row
 }
@@ -114,11 +137,12 @@ func figure10Point(p Figure10Params, rateGbps float64) Figure10Row {
 // RenderFigure10 formats the sweep as the paper's two panels.
 func RenderFigure10(rows []Figure10Row) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%10s %10s %10s %12s %12s %14s\n",
-		"limit(Gb)", "data(Gb)", "void(Gb)", "frames/s", "ns/frame", "ns/data-frame")
+	fmt.Fprintf(&b, "%10s %10s %10s %12s %12s %14s %8s %8s %10s\n",
+		"limit(Gb)", "data(Gb)", "void(Gb)", "frames/s", "ns/frame", "ns/data-frame", "avg%", "cap%", "wait(µs)")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%10.1f %10.2f %10.2f %12.3g %12.1f %14.1f\n",
-			r.RateGbps, r.DataGbps, r.VoidGbps, r.PacketsPerSec, r.NsPerPacket, r.NsPerDataPacket)
+		fmt.Fprintf(&b, "%10.1f %10.2f %10.2f %12.3g %12.1f %14.1f %8.1f %8.1f %10.2f\n",
+			r.RateGbps, r.DataGbps, r.VoidGbps, r.PacketsPerSec, r.NsPerPacket, r.NsPerDataPacket,
+			r.PctGateAvg, r.PctGateCap, r.MeanTokenWaitUs)
 	}
 	return b.String()
 }

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/placement"
+	"repro/internal/stats"
+	"repro/internal/tenant"
+	"repro/internal/topology"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// Figure5SimParams configures the packet-level companion to Figure 5:
+// the analytic example run for real, with synchronized worst-case
+// bursts and flight-recorder attribution.
+type Figure5SimParams struct {
+	// DurationSec of simulated time (bursts repeat every millisecond).
+	DurationSec float64
+	// TraceSampleN is the flight-recorder sampling divisor (1 = every
+	// packet); 0 disables tracing entirely — the baseline the overhead
+	// benchmark compares against.
+	TraceSampleN int
+}
+
+// DefaultFigure5SimParams runs 20 ms (≈20 burst rounds) tracing every
+// packet.
+func DefaultFigure5SimParams() Figure5SimParams {
+	return Figure5SimParams{DurationSec: 0.02, TraceSampleN: 1}
+}
+
+// Figure5SimResult holds the simulated counterpart of Figure 5's
+// analysis plus the trace attribution.
+type Figure5SimResult struct {
+	// Layout is VMs per server under Silo placement (3/3/3).
+	Layout []int
+	// BoundBytes is the network-calculus worst-case queue (fig5's
+	// analytic number); PeakBytes the worst occupancy any ToR down-port
+	// actually reached; BufferBytes the provisioned buffer.
+	BoundBytes, PeakBytes, BufferBytes float64
+	// Drops counts switch drops (0 when the bound holds).
+	Drops int64
+	// Messages completed, with latencies in µs.
+	Messages  int
+	Latencies *stats.Sample
+	// BoundUs is the tenant's message-latency guarantee for the burst.
+	BoundUs float64
+
+	// Flight is the attribution roll-up (zero-valued when tracing was
+	// disabled); Spans/Ports expose the recording for export.
+	Flight obs.FlightSummary
+	Spans  []obs.FlightSpan
+	Ports  []obs.PortMeta
+}
+
+// RunFigure5Sim instantiates Figure 5's cluster (nine {1 Gbps, 100 KB,
+// 1 ms} VMs, Silo-placed 3/3/3 under one 10 GbE switch), fires the
+// worst case the admission control reasons about — every remote VM
+// bursting its full allowance at the same destination simultaneously —
+// and checks the analytic queue bound against the simulated occupancy,
+// with per-hop latency attribution from the flight recorder.
+func RunFigure5Sim(p Figure5SimParams) (Figure5SimResult, error) {
+	if p.DurationSec <= 0 {
+		p.DurationSec = DefaultFigure5SimParams().DurationSec
+	}
+	tree, err := topology.New(topology.Config{
+		Pods:           1,
+		RacksPerPod:    1,
+		ServersPerRack: 3,
+		SlotsPerServer: 4,
+		LinkBps:        10 * gbps,
+		BufferBytes:    375e3,
+		NICBufferBytes: 50e-6 * 10 * gbps,
+		RackOversub:    1,
+		PodOversub:     1,
+	})
+	if err != nil {
+		return Figure5SimResult{}, err
+	}
+	spec := tenant.Spec{
+		ID:   1,
+		Name: "fig5",
+		VMs:  9,
+		Guarantee: tenant.Guarantee{
+			BandwidthBps: 1 * gbps,
+			BurstBytes:   100e3,
+			DelayBound:   1e-3,
+			BurstRateBps: 10 * gbps,
+		},
+	}
+	pl, err := placement.NewManager(tree, placement.Options{}).Place(spec)
+	if err != nil {
+		return Figure5SimResult{}, fmt.Errorf("silo rejected the Figure-5 tenant: %w", err)
+	}
+	res := Figure5SimResult{BufferBytes: tree.Config().BufferBytes}
+	for s := 0; s < 3; s++ {
+		res.Layout = append(res.Layout, pl.VMsOnServer(s))
+	}
+	res.BoundBytes = fig5WorstQueue(tree, spec, res.Layout)
+
+	scheme := SchemeSilo
+	nw := netsim.Build(netsim.NewSim(), tree, scheme.netOptions(tree, 200))
+	f := transport.NewFabric(nw)
+	dep := DeployTenant(nw, f, scheme, spec, pl, 1000)
+
+	audit := obs.NewGuaranteeAuditor(nil)
+	dep.EnableTelemetry(nw, nil, audit, nil)
+	tenantOf := func(vmID int) (int, bool) {
+		if vmID >= 1000 && vmID < 1000+spec.VMs {
+			return spec.ID, true
+		}
+		return 0, false
+	}
+	nw.AttachDelayAudit(audit, tenantOf)
+
+	var flight *obs.FlightRecorder
+	if p.TraceSampleN > 0 {
+		flight = obs.NewFlightRecorder(0, p.TraceSampleN)
+		netsim.AttachFlightRecorder(nw, flight)
+	}
+	// HosePeak is the adversarial fixed point the admission bound must
+	// absorb: every sender may push its full B toward the one receiver.
+	CoordinateHose(nw, dep, workload.AllToOne(spec.VMs), HosePeak)
+
+	// Every *remote* VM fires its full burst allowance S at VM 0 at the
+	// top of each millisecond — the analytic bound models remote
+	// senders converging on the destination's down-port (co-located
+	// VMs never cross it), and at peak hose rate the {B, S} buckets
+	// refill a 100 KB burst at 1 Gbps in 0.8 ms, so each round bursts
+	// from full buckets exactly as the admission analysis assumes.
+	var senders []int
+	for i := 1; i < spec.VMs; i++ {
+		if pl.Servers[i] != pl.Servers[0] {
+			senders = append(senders, i)
+		}
+	}
+	const roundNs = int64(1e6)
+	horizon := int64(p.DurationSec * 1e9)
+	msg := int(spec.Guarantee.BurstBytes)
+	res.Latencies = stats.NewSample(1 << 12)
+	var round func()
+	var t int64
+	round = func() {
+		for _, i := range senders {
+			res.Messages++
+			dep.Endpoints[i].SendMessage(dep.VMIDs[0], msg, func(m *transport.Message) {
+				res.Latencies.Add(float64(m.Latency()) / 1e3)
+			})
+		}
+		t += roundNs
+		if t < horizon {
+			nw.Sim.At(t, round)
+		}
+	}
+	nw.Sim.At(0, round)
+	nw.Sim.Run(horizon + int64(1e9))
+
+	res.BoundUs = spec.Guarantee.MessageLatencyBound(float64(msg)) * 1e6
+	res.Drops = nw.TotalDrops()
+	for s := 0; s < tree.Servers(); s++ {
+		if hw := float64(nw.Queues[tree.RackDownPort(s).ID].Stats.HighWaterBytes); hw > res.PeakBytes {
+			res.PeakBytes = hw
+		}
+	}
+	if flight != nil {
+		res.Ports = nw.PortMeta()
+		res.Spans = obs.AssembleFlight(flight.Events(), res.Ports)
+		obs.AnnotateSpans(res.Spans, audit, tenantOf)
+		res.Flight = obs.SummarizeFlight(res.Spans)
+	}
+	return res, nil
+}
+
+// Render formats the simulated Figure-5 check.
+func (r Figure5SimResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Silo layout %v, synchronized 100 KB bursts all-to-one\n", r.Layout)
+	fmt.Fprintf(&b, "worst-case queue: analytic bound=%.0f KB  simulated peak=%.0f KB  buffer=%.0f KB  drops=%d\n",
+		r.BoundBytes/1e3, r.PeakBytes/1e3, r.BufferBytes/1e3, r.Drops)
+	fmt.Fprintf(&b, "messages=%d  latency (µs): %s  guarantee=%.0f µs\n",
+		r.Messages, r.Latencies.Summary("µs"), r.BoundUs)
+	if r.Flight.Spans > 0 {
+		b.WriteString(r.Flight.Render())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

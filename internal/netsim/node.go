@@ -43,6 +43,16 @@ type Host struct {
 	// before Deliver; Network.AttachDelayAudit uses it to feed the
 	// guarantee auditor.
 	OnDeliver func(p *Packet, delayNs int64)
+	// OnPacedEnqueue, if set, observes every data packet handed to the
+	// pacer's token-bucket chain (the start of a message's life, before
+	// any pacing delay accrues). The flight recorder chains into it.
+	OnPacedEnqueue func(p *Packet)
+	// OnPacedWire, if set, observes every paced data packet the moment
+	// the batch loop lays it on the wire, after its release stamp and
+	// gating bucket are copied onto it. Unlike a NIC OnEnqueue hook it
+	// fires only for paced packets, so instrumentation needs no "was
+	// this paced?" heuristic (a release stamp of 0 is legitimate).
+	OnPacedWire func(p *Packet)
 
 	// Pacing state (nil for unpaced hosts).
 	pacer       *pacer.HostPacer
@@ -115,6 +125,9 @@ func (h *Host) SendPaced(vmID int, p *Packet) {
 		h.Send(p)
 		return
 	}
+	if h.OnPacedEnqueue != nil {
+		h.OnPacedEnqueue(p)
+	}
 	vm.Enqueue(h.sim.Now(), p.DstVM, p.Size, p)
 	due, _ := vm.NextEventTime()
 	switch {
@@ -182,6 +195,10 @@ func (h *Host) batchLoop() {
 			np := fp.Ref.(*Packet)
 			np.SentAt = h.sim.Now()
 			np.PacedRelease = fp.Release
+			np.Gate = fp.Gate
+			if h.OnPacedWire != nil {
+				h.OnPacedWire(np)
+			}
 			h.NIC.Enqueue(np)
 		})
 	}

@@ -30,6 +30,10 @@ type Packet struct {
 	// PacedRelease is the pacer's release stamp for paced packets
 	// (0 for unpaced); SentAt − PacedRelease is the pacing error.
 	PacedRelease int64
+	// Gate is the token bucket that determined PacedRelease (the
+	// pacer's Gate* constants; 0 for unpaced packets or packets that
+	// were immediately feasible). Flight-recorder attribution reads it.
+	Gate uint8
 	// Payload carries the transport segment.
 	Payload interface{}
 }

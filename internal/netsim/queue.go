@@ -35,6 +35,11 @@ type Queue struct {
 	Stats Counters
 	// OnEnqueue, if set, observes every arrival (instrumentation).
 	OnEnqueue func(p *Packet, occupied int)
+	// OnTransmit, if set, observes the start of every serialization
+	// with the exact serialization time the port will charge. Together
+	// with OnEnqueue it brackets a packet's queueing delay at the port
+	// to the nanosecond; the flight recorder chains into both.
+	OnTransmit func(p *Packet, serNs int64)
 
 	fifos    [numPrios][]*Packet
 	occupied int
@@ -106,6 +111,9 @@ func (q *Queue) transmitNext() {
 	}
 	q.busy = true
 	serNs := int64(math.Round(float64(p.Size) / q.RateBps * 1e9))
+	if q.OnTransmit != nil {
+		q.OnTransmit(p, serNs)
+	}
 	q.sim.After(serNs, func() {
 		q.occupied -= p.Size
 		q.Stats.SentPkts++

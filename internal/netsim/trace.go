@@ -59,7 +59,7 @@ func (t *Tracer) newHopSlice() []HopEvent {
 		t.backing = make([]HopEvent, tracerMaxHops*tracerChunkPackets)
 		t.next = 0
 	}
-	s := t.backing[t.next:t.next : t.next+tracerMaxHops]
+	s := t.backing[t.next : t.next : t.next+tracerMaxHops]
 	t.next += tracerMaxHops
 	return s
 }

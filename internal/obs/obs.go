@@ -29,6 +29,7 @@
 package obs
 
 import (
+	"math"
 	"math/bits"
 	"sync/atomic"
 )
@@ -261,9 +262,17 @@ func (h *Histogram) Quantile(q float64) int64 {
 	if q >= 1 {
 		return h.Max()
 	}
-	rank := int64(q * float64(n))
+	// Nearest-rank: the smallest value with at least ceil(q*n)
+	// observations at or below it. Truncating here instead of taking
+	// the ceiling would bias every fractional rank one observation low
+	// (e.g. the median of 3 observations would read the 1st, not the
+	// 2nd).
+	rank := int64(math.Ceil(q * float64(n)))
 	if rank < 1 {
 		rank = 1
+	}
+	if rank > n {
+		rank = n
 	}
 	buckets := h.Buckets()
 	var cum int64

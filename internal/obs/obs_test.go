@@ -404,3 +404,46 @@ func readFile(t *testing.T, path string) string {
 	}
 	return string(b)
 }
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	var nilH *Histogram
+	if q := nilH.Quantile(0.5); q != 0 {
+		t.Errorf("nil histogram quantile = %d, want 0", q)
+	}
+	h := &Histogram{}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("empty histogram quantile = %d, want 0", q)
+	}
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(4)
+	// Out-of-range q clamps to the exact extremes.
+	if q := h.Quantile(-1); q != 1 {
+		t.Errorf("q<0 = %d, want exact min 1", q)
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Errorf("q=0 = %d, want exact min 1", q)
+	}
+	if q := h.Quantile(1); q != 4 {
+		t.Errorf("q=1 = %d, want exact max 4", q)
+	}
+	if q := h.Quantile(2); q != 4 {
+		t.Errorf("q>1 = %d, want exact max 4", q)
+	}
+	// Median of {1, 2, 4}: nearest rank ceil(0.5*3) = 2, the value 2,
+	// whose bucket upper bound is 3. A truncated rank would land on the
+	// 1st observation and report 1 — below the true median.
+	if q := h.Quantile(0.5); q < 2 || q > 3 {
+		t.Errorf("median of {1,2,4} = %d, want in [2,3]", q)
+	}
+}
+
+func TestHistogramQuantileSingle(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(777)
+	for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 777 {
+			t.Errorf("single-observation q%.2f = %d, want 777", q, got)
+		}
+	}
+}

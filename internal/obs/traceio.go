@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Trace file I/O. Two formats, selected by extension:
+//
+//   - *.json: Chrome trace_event JSON, loadable in Perfetto /
+//     chrome://tracing. Each span becomes one track (tid = packet ID)
+//     of "X" complete events — pacing, then queue/ser/prop per hop —
+//     with the machine-readable span records embedded verbatim under
+//     otherData.silo, so silo-trace round-trips the full recording
+//     (per-hop data included) from the same file Perfetto renders.
+//   - *.csv: one compact numeric row per span via internal/stats —
+//     plottable, loses per-hop detail beyond the worst port.
+
+// siloTraceData is the machine-readable payload embedded in the Chrome
+// trace's otherData block.
+type siloTraceData struct {
+	Ports []PortMeta   `json:"ports"`
+	Spans []FlightSpan `json:"spans"`
+}
+
+// chromeTraceFile is the on-disk Chrome trace_event envelope.
+type chromeTraceFile struct {
+	TraceEvents     []chromeEvent              `json:"traceEvents"`
+	DisplayTimeUnit string                     `json:"displayTimeUnit"`
+	OtherData       map[string]json.RawMessage `json:"otherData,omitempty"`
+}
+
+// chromeEvent is one trace_event record; ts and dur are microseconds
+// (fractional — ns precision survives the float).
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"`
+	Dur  float64                `json:"dur,omitempty"`
+	Pid  int64                  `json:"pid"`
+	Tid  uint64                 `json:"tid"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+func usFloat(ns int64) float64 { return float64(ns) / 1e3 }
+
+// WriteChromeTrace writes spans as Chrome trace_event JSON.
+func WriteChromeTrace(w io.Writer, ports []PortMeta, spans []FlightSpan) error {
+	var evs []chromeEvent
+	for i := range spans {
+		s := &spans[i]
+		base := map[string]interface{}{
+			"pkt": s.Pkt, "src_vm": s.SrcVM, "dst_vm": s.DstVM, "bytes": s.Bytes,
+		}
+		pid := int64(s.TenantID)
+		if s.EnqueueNs >= 0 && s.PacingNs > 0 {
+			args := map[string]interface{}{
+				"pkt": s.Pkt, "gate": GateName(s.Gate),
+				"token_wait_ns": s.TokenWaitNs, "batch_wait_ns": s.BatchWaitNs,
+			}
+			evs = append(evs, chromeEvent{
+				Name: "pacing", Cat: "pacer", Ph: "X",
+				Ts: usFloat(s.EnqueueNs), Dur: usFloat(s.PacingNs),
+				Pid: pid, Tid: s.Pkt, Args: args,
+			})
+		}
+		for _, h := range s.Hops {
+			port := PortName(ports, h.Port)
+			if h.QueueNs > 0 {
+				evs = append(evs, chromeEvent{
+					Name: "queue " + port, Cat: "net", Ph: "X",
+					Ts: usFloat(h.ArriveNs), Dur: usFloat(h.QueueNs),
+					Pid: pid, Tid: s.Pkt,
+					Args: map[string]interface{}{"pkt": s.Pkt, "occupied_bytes": h.OccupiedBytes},
+				})
+			}
+			if h.TxStartNs >= 0 {
+				evs = append(evs, chromeEvent{
+					Name: "ser " + port, Cat: "net", Ph: "X",
+					Ts: usFloat(h.TxStartNs), Dur: usFloat(h.SerNs),
+					Pid: pid, Tid: s.Pkt, Args: base,
+				})
+				if h.PropNs > 0 {
+					evs = append(evs, chromeEvent{
+						Name: "prop " + port, Cat: "net", Ph: "X",
+						Ts: usFloat(h.TxStartNs + h.SerNs), Dur: usFloat(h.PropNs),
+						Pid: pid, Tid: s.Pkt,
+					})
+				}
+			}
+		}
+	}
+	payload, err := json.Marshal(siloTraceData{Ports: ports, Spans: spans})
+	if err != nil {
+		return err
+	}
+	out := chromeTraceFile{
+		TraceEvents:     evs,
+		DisplayTimeUnit: "ns",
+		OtherData:       map[string]json.RawMessage{"silo": payload},
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// spansCSVHeader defines the compact span CSV schema.
+var spansCSVHeader = []string{
+	"pkt", "tenant", "src_vm", "dst_vm", "bytes", "gate",
+	"enqueue_ns", "admit_ns", "wire_ns", "deliver_ns",
+	"token_wait_ns", "batch_wait_ns", "pacing_ns",
+	"queue_ns", "ser_ns", "prop_ns", "total_ns",
+	"hops", "worst_port", "worst_queue_ns", "bound_ns", "complete",
+}
+
+// WriteSpansCSV writes one compact numeric row per span.
+func WriteSpansCSV(w io.Writer, spans []FlightSpan) error {
+	rows := make([][]float64, 0, len(spans))
+	for i := range spans {
+		s := &spans[i]
+		complete := 0.0
+		if s.Complete {
+			complete = 1
+		}
+		rows = append(rows, []float64{
+			float64(s.Pkt), float64(s.TenantID), float64(s.SrcVM), float64(s.DstVM),
+			float64(s.Bytes), float64(s.Gate),
+			float64(s.EnqueueNs), float64(s.AdmitNs), float64(s.WireNs), float64(s.DeliverNs),
+			float64(s.TokenWaitNs), float64(s.BatchWaitNs), float64(s.PacingNs),
+			float64(s.QueueNs), float64(s.SerNs), float64(s.PropNs), float64(s.TotalNs),
+			float64(len(s.Hops)), float64(s.WorstPort), float64(s.WorstQueueNs),
+			float64(s.BoundNs), complete,
+		})
+	}
+	return stats.WriteCSV(w, spansCSVHeader, rows)
+}
+
+// WriteTraceFile writes a recording to path: *.csv gets the compact
+// span CSV, anything else the Chrome trace JSON.
+func WriteTraceFile(path string, ports []PortMeta, spans []FlightSpan) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var werr error
+	if strings.HasSuffix(path, ".csv") {
+		werr = WriteSpansCSV(f, spans)
+	} else {
+		werr = WriteChromeTrace(f, ports, spans)
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// ReadTraceFile loads a recording written by WriteTraceFile. JSON
+// recordings round-trip exactly (per-hop detail included); CSV
+// recordings reconstruct span-level attribution without hop lists.
+func ReadTraceFile(path string) ([]PortMeta, []FlightSpan, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		spans, err := parseSpansCSV(string(b))
+		return nil, spans, err
+	}
+	var file chromeTraceFile
+	if err := json.Unmarshal(b, &file); err != nil {
+		return nil, nil, fmt.Errorf("%s: not a silo trace: %w", path, err)
+	}
+	raw, ok := file.OtherData["silo"]
+	if !ok {
+		return nil, nil, fmt.Errorf("%s: no otherData.silo span payload (not written by silo-sim?)", path)
+	}
+	var data siloTraceData
+	if err := json.Unmarshal(raw, &data); err != nil {
+		return nil, nil, fmt.Errorf("%s: span payload: %w", path, err)
+	}
+	return data.Ports, data.Spans, nil
+}
+
+// parseSpansCSV rebuilds spans from the compact CSV.
+func parseSpansCSV(text string) ([]FlightSpan, error) {
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("empty CSV")
+	}
+	header := strings.Split(strings.TrimSpace(lines[0]), ",")
+	col := make(map[string]int, len(header))
+	for i, h := range header {
+		col[h] = i
+	}
+	for _, want := range []string{"pkt", "total_ns", "complete"} {
+		if _, ok := col[want]; !ok {
+			return nil, fmt.Errorf("not a silo span CSV: missing column %q", want)
+		}
+	}
+	get := func(fields []string, name string) float64 {
+		i, ok := col[name]
+		if !ok || i >= len(fields) {
+			return 0
+		}
+		var v float64
+		fmt.Sscanf(fields[i], "%g", &v)
+		return v
+	}
+	spans := make([]FlightSpan, 0, len(lines)-1)
+	for _, line := range lines[1:] {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		f := strings.Split(line, ",")
+		spans = append(spans, FlightSpan{
+			Pkt:      uint64(get(f, "pkt")),
+			TenantID: int32(get(f, "tenant")),
+			SrcVM:    int32(get(f, "src_vm")), DstVM: int32(get(f, "dst_vm")),
+			Bytes: int64(get(f, "bytes")), Gate: uint8(get(f, "gate")),
+			EnqueueNs: int64(get(f, "enqueue_ns")), AdmitNs: int64(get(f, "admit_ns")),
+			WireNs: int64(get(f, "wire_ns")), DeliverNs: int64(get(f, "deliver_ns")),
+			TokenWaitNs: int64(get(f, "token_wait_ns")), BatchWaitNs: int64(get(f, "batch_wait_ns")),
+			PacingNs: int64(get(f, "pacing_ns")),
+			QueueNs:  int64(get(f, "queue_ns")), SerNs: int64(get(f, "ser_ns")),
+			PropNs: int64(get(f, "prop_ns")), TotalNs: int64(get(f, "total_ns")),
+			WorstPort:    int32(get(f, "worst_port")),
+			WorstQueueNs: int64(get(f, "worst_queue_ns")),
+			BoundNs:      int64(get(f, "bound_ns")),
+			Complete:     get(f, "complete") != 0,
+		})
+	}
+	return spans, nil
+}

@@ -20,6 +20,10 @@ type Packet struct {
 	// assigned when the scheduler commits the packet (-1 while it
 	// waits in its destination queue).
 	Release int64
+	// Gate records which token bucket determined Release (Gate*
+	// constants; GateNone when the packet was immediately feasible).
+	// Set at commit time; flight-recorder attribution reads it.
+	Gate uint8
 	// Wire is the ns at which the batcher actually laid the frame on
 	// the wire (set during batch building).
 	Wire int64
@@ -34,6 +38,23 @@ type Packet struct {
 // MinVoidBytes is the smallest legal Ethernet frame including preamble
 // and inter-frame gap: 84 bytes, 67.2 ns at 10 GbE (paper §4.3.1).
 const MinVoidBytes = 84
+
+// Gate values: which bucket of the chain (Figure 8) pushed a packet's
+// release stamp furthest, i.e. the binding constraint at commit time.
+const (
+	// GateNone: the packet was feasible at its enqueue time.
+	GateNone uint8 = iota
+	// GateDest: the per-destination hose bucket gated it.
+	GateDest
+	// GateAvg: the {B, S} tenant bucket gated it (the VM offered more
+	// than its arrival curve B·t + S admits).
+	GateAvg
+	// GateCap: the Bmax cap bucket gated it.
+	GateCap
+)
+
+// EnqueuedAt reports when the packet entered its destination queue.
+func (p *Packet) EnqueuedAt() int64 { return p.enq }
 
 // Guarantee configures a VM pacer.
 type Guarantee struct {
@@ -182,24 +203,29 @@ func (v *VM) Enqueue(now int64, dstVM, bytes int, ref interface{}) *Packet {
 }
 
 // feasible returns the earliest release for a packet given current
-// bucket states, without committing. A single forward pass is exact:
-// token balances only grow with time, so feasibility at a later stage
-// never invalidates an earlier one.
-func (v *VM) feasible(p *Packet) int64 {
+// bucket states, without committing, plus the gating bucket (the last
+// stage that pushed the release later). A single forward pass is
+// exact: token balances only grow with time, so feasibility at a later
+// stage never invalidates an earlier one.
+func (v *VM) feasible(p *Packet) (int64, uint8) {
 	r := p.enq
+	gate := GateNone
 	n := p.Bytes
 	if b, ok := v.dst[p.DstVM]; ok {
 		if f := b.Free(r, n); f > r {
 			r = f
+			gate = GateDest
 		}
 	}
 	if f := v.avg.Free(r, n); f > r {
 		r = f
+		gate = GateAvg
 	}
 	if f := v.cap.Free(r, n); f > r {
 		r = f
+		gate = GateCap
 	}
-	return r
+	return r, gate
 }
 
 // Schedule commits queued packets with release stamps <= upTo, in
@@ -209,17 +235,19 @@ func (v *VM) Schedule(upTo int64) {
 		bestR := int64(math.MaxInt64)
 		bestDst := 0
 		var bestSeq uint64
+		var bestGate uint8
 		found := false
 		for d, q := range v.queues {
 			if len(q) == 0 {
 				continue
 			}
-			r := v.feasible(q[0])
+			r, gate := v.feasible(q[0])
 			if !found || r < bestR || (r == bestR && q[0].seq < bestSeq) {
 				found = true
 				bestR = r
 				bestDst = d
 				bestSeq = q[0].seq
+				bestGate = gate
 			}
 		}
 		if !found || bestR > upTo {
@@ -239,6 +267,7 @@ func (v *VM) Schedule(upTo int64) {
 		v.avg.Commit(bestR, p.Bytes)
 		v.cap.Commit(bestR, p.Bytes)
 		p.Release = bestR
+		p.Gate = bestGate
 		v.mx.noteCommit(p, bestR, v.queuedTotal)
 		heap.Push(&v.ready, p)
 	}
@@ -265,7 +294,7 @@ func (v *VM) NextEventTime() (int64, bool) {
 		if len(q) == 0 {
 			continue
 		}
-		if r := v.feasible(q[0]); r < best {
+		if r, _ := v.feasible(q[0]); r < best {
 			best = r
 			ok = true
 		}
