@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all ci vet build test test-race bench-placement bench-obs
+.PHONY: all ci vet build test test-race bench-placement bench-obs bench-telemetry regress baselines
 
 all: vet build test
 
@@ -32,3 +32,18 @@ bench-placement:
 # both the enabled and disabled paths (see README.md "Observability").
 bench-obs:
 	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchmem ./internal/obs/
+
+# Asserts the per-window telemetry hot path (registry rollup capture +
+# SLO burn-rate flush) is allocation-free in steady state.
+bench-telemetry:
+	$(GO) test -run '^$$' -bench 'BenchmarkCapture|BenchmarkFlush' -benchmem ./internal/obs/timeseries/ ./internal/obs/slo/
+
+# Runs the three microbenchmarks and compares them against the
+# committed BENCH_*.json baselines; exits non-zero on regression.
+regress:
+	$(GO) run ./cmd/silo-bench -regress
+
+# Regenerates the committed microbenchmark baselines in place. Run on a
+# quiet machine and commit the diff deliberately.
+baselines:
+	$(GO) run ./cmd/silo-bench -run placeub,pacerub,netsimub -bench-json .

@@ -8,13 +8,14 @@
 //	silo-bench -run all
 //	silo-bench -run fig12 -duration 0.1
 //	silo-bench -run fig15
+//	silo-bench -regress             # compare microbenchmarks vs BENCH_*.json
 //
 // Experiments: fig1, table1, fig5, fig10, fig11, fig12 (also emits
-// fig13, fig14 and table4), fig15, fig16a, fig16b, placeub.
+// fig13, fig14 and table4), fig15, fig16a, fig16b, placeub, pacerub,
+// netsimub.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,9 +35,44 @@ var outdir string
 // instrumentation disabled.
 var reg *obs.Registry
 
-// benchJSON, when non-empty, receives the placement microbenchmark
-// result as machine-readable JSON (see BENCH_placement.json).
+// benchJSON, when non-empty, receives the microbenchmark records as
+// machine-readable JSON (see BENCH_placement.json). A *.json path
+// names one output file; anything else is a directory that receives
+// one BENCH_<name>.json per microbenchmark run.
 var benchJSON string
+
+// benchRecords collects the microbenchmark results of this invocation
+// for the -regress comparison.
+var benchRecords = map[string]experiments.BenchRecord{}
+
+// benchBaseline maps each microbenchmark to its committed baseline
+// file name.
+var benchBaseline = map[string]string{
+	"placeub":  "BENCH_placement.json",
+	"pacerub":  "BENCH_pacer.json",
+	"netsimub": "BENCH_netsim.json",
+}
+
+// noteBenchRecord stores a microbenchmark record and writes it out if
+// -bench-json asked for it.
+func noteBenchRecord(rec experiments.BenchRecord) error {
+	benchRecords[rec.Benchmark] = rec
+	if benchJSON == "" {
+		return nil
+	}
+	path := benchJSON
+	if !strings.HasSuffix(path, ".json") {
+		if err := os.MkdirAll(path, 0o755); err != nil {
+			return fmt.Errorf("bench-json: %w", err)
+		}
+		path = filepath.Join(path, benchBaseline[rec.Benchmark])
+	}
+	if err := experiments.WriteBenchRecord(path, rec); err != nil {
+		return fmt.Errorf("bench-json: %w", err)
+	}
+	fmt.Printf("benchmark record written to %s\n", path)
+	return nil
+}
 
 // writeCSV drops a CSV into outdir if one was requested.
 func writeCSV(name string, header []string, rows [][]float64) {
@@ -50,15 +86,20 @@ func writeCSV(name string, header []string, rows [][]float64) {
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "experiment to run (all|fig1|table1|fig5|fig10|fig11|fig12|fig15|fig16a|fig16b|placeub|besteffort|burststress)")
+		run      = flag.String("run", "all", "experiment to run (all|fig1|table1|fig5|fig10|fig11|fig12|fig15|fig16a|fig16b|placeub|pacerub|netsimub|besteffort|burststress)")
 		duration = flag.Float64("duration", 0, "override simulated seconds for packet-level experiments")
 		requests = flag.Int("requests", 0, "override request count for the placement microbenchmark")
 		seed     = flag.Uint64("seed", 0, "override RNG seed")
 		outFlag  = flag.String("outdir", "", "also write plottable CSV series to this directory")
 
 		metricsOut = flag.String("metrics", "", "export metrics on exit (\"-\" = Prometheus to stdout, *.json = expvar JSON, else Prometheus to file)")
-		httpAddr   = flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
-		benchOut   = flag.String("bench-json", "", "write the placement microbenchmark result as JSON to this file")
+		httpAddr   = flag.String("http", "", "serve /metrics and /debug/vars on this address during the run")
+		pprofOn    = flag.Bool("pprof", false, "additionally expose /debug/pprof on the -http address")
+		benchOut   = flag.String("bench-json", "", "write microbenchmark records as JSON: a *.json path for one file, anything else a directory receiving BENCH_<name>.json per bench")
+
+		regress     = flag.Bool("regress", false, "after running, compare microbenchmark records against the committed BENCH_*.json baselines and exit non-zero on regression (with -run all, runs only the microbenchmarks)")
+		regressTol  = flag.Float64("regress-tolerance", 50, "regression tolerance in percent on gating metrics (mean, p99, allocs/op)")
+		baselineDir = flag.String("baseline-dir", ".", "directory holding the BENCH_*.json baselines for -regress")
 	)
 	flag.Parse()
 	outdir = *outFlag
@@ -67,6 +108,9 @@ func main() {
 	for _, f := range []struct{ name, path string }{
 		{"-metrics", *metricsOut}, {"-bench-json", *benchOut},
 	} {
+		if f.name == "-bench-json" && !strings.HasSuffix(f.path, ".json") {
+			continue // directory form; created on first write
+		}
 		if err := obs.ValidateOutputPath(f.name, f.path); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -83,7 +127,9 @@ func main() {
 
 	var finishObs func() error
 	var err error
-	reg, finishObs, err = obs.StartCLI(*metricsOut, *httpAddr)
+	reg, _, finishObs, err = obs.StartCLI(obs.CLIConfig{
+		MetricsPath: *metricsOut, HTTPAddr: *httpAddr, Pprof: *pprofOn,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -100,14 +146,21 @@ func main() {
 		"fig16a":      func() error { return runFig16a(*seed) },
 		"fig16b":      func() error { return runFig16b(*seed) },
 		"placeub":     func() error { return runPlaceUB(*requests, *seed) },
+		"pacerub":     runPacerUB,
+		"netsimub":    runNetsimUB,
 		"besteffort":  func() error { return runBestEffort(*duration, *seed) },
 		"burststress": runBurstStressCmd,
 	}
-	order := []string{"fig1", "table1", "fig5", "fig10", "fig11", "fig12", "fig15", "fig16a", "fig16b", "placeub", "besteffort", "burststress"}
+	order := []string{"fig1", "table1", "fig5", "fig10", "fig11", "fig12", "fig15", "fig16a", "fig16b", "placeub", "pacerub", "netsimub", "besteffort", "burststress"}
 
 	names := strings.Split(*run, ",")
 	if *run == "all" {
 		names = order
+		if *regress {
+			// The regression gate only needs the record-producing
+			// microbenchmarks.
+			names = []string{"placeub", "pacerub", "netsimub"}
+		}
 	}
 	for _, name := range names {
 		fn, ok := runners[name]
@@ -127,10 +180,65 @@ func main() {
 		}
 		fmt.Println()
 	}
+	regressed := false
+	if *regress {
+		regressed = runRegress(*baselineDir, *regressTol)
+	}
 	if err := finishObs(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if regressed {
+		os.Exit(1)
+	}
+}
+
+// runRegress compares this invocation's microbenchmark records against
+// the committed baselines and reports whether any gating metric
+// regressed. A missing baseline is skipped with a note (so a new
+// microbenchmark can land before its baseline); an unreadable or
+// mismatched baseline counts as a failure.
+func runRegress(baselineDir string, tolerancePct float64) bool {
+	fmt.Println("==== regression gate ====")
+	if len(benchRecords) == 0 {
+		fmt.Println("no microbenchmark records to compare (run placeub, pacerub or netsimub)")
+		return false
+	}
+	names := make([]string, 0, len(benchRecords))
+	for name := range benchRecords {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := false
+	for _, name := range names {
+		basePath := filepath.Join(baselineDir, benchBaseline[name])
+		base, err := experiments.LoadBenchRecord(basePath)
+		if os.IsNotExist(err) {
+			fmt.Printf("%s: no baseline at %s; skipping\n", name, basePath)
+			continue
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			failed = true
+			continue
+		}
+		deltas, err := experiments.CompareBenchRecords(base, benchRecords[name], tolerancePct)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			failed = true
+			continue
+		}
+		fmt.Print(experiments.RenderBenchDeltas(name, deltas, tolerancePct))
+		if experiments.AnyRegression(deltas) {
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Println("=> REGRESSION against committed baselines")
+	} else {
+		fmt.Println("=> all microbenchmarks within tolerance of their baselines")
+	}
+	return failed
 }
 
 func runFig1(duration float64, seed uint64) error {
@@ -378,38 +486,24 @@ func runPlaceUB(requests int, seed uint64) error {
 		return err
 	}
 	fmt.Print(r.Render())
-	if benchJSON != "" {
-		if err := writeBenchJSON(benchJSON, r); err != nil {
-			return fmt.Errorf("bench-json: %w", err)
-		}
-	}
-	return nil
+	// The checked-in BENCH_placement.json is regenerated with
+	// `silo-bench -run placeub -bench-json BENCH_placement.json`.
+	return noteBenchRecord(r.Record())
 }
 
-// writeBenchJSON emits the machine-readable placement benchmark record
-// (the checked-in BENCH_placement.json is regenerated with
-// `silo-bench -run placeub -bench-json BENCH_placement.json`).
-func writeBenchJSON(path string, r experiments.PlacementBenchResult) error {
-	rec := struct {
-		Benchmark   string `json:"benchmark"`
-		Hosts       int    `json:"hosts"`
-		Requests    int    `json:"requests"`
-		Accepted    int    `json:"accepted"`
-		MeanNs      int64  `json:"mean_ns"`
-		P50Ns       int64  `json:"p50_ns"`
-		P99Ns       int64  `json:"p99_ns"`
-		MaxNs       int64  `json:"max_ns"`
-		TotalNs     int64  `json:"total_ns"`
-		AllocsPerOp int64  `json:"allocs_per_op"`
-	}{
-		Benchmark: "placeub", Hosts: r.Hosts, Requests: r.Requests,
-		Accepted: r.Accepted, MeanNs: r.MeanNs, P50Ns: r.P50Ns,
-		P99Ns: r.P99Ns, MaxNs: r.MaxNs, TotalNs: r.TotalElapsedNs,
-		AllocsPerOp: r.AllocsPerOp,
-	}
-	b, err := json.MarshalIndent(rec, "", "  ")
+func runPacerUB() error {
+	fmt.Println("Pacer microbenchmark — per-frame batch-construction cost over repeated runs:")
+	rec := experiments.RunPacerBench(experiments.DefaultPacerBenchParams())
+	fmt.Print(rec.Render())
+	return noteBenchRecord(rec)
+}
+
+func runNetsimUB() error {
+	fmt.Println("Netsim microbenchmark — event-engine cost per simulated packet (cross-rack permutation):")
+	rec, err := experiments.RunNetsimBench(experiments.DefaultNetsimBenchParams())
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
+	fmt.Print(rec.Render())
+	return noteBenchRecord(rec)
 }

@@ -15,8 +15,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/dashboard"
+	"repro/internal/obs/timeseries"
 	"repro/internal/placement"
 	"repro/internal/stats"
 	"repro/internal/tenant"
@@ -45,7 +48,8 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "rng seed")
 
 		metricsOut = flag.String("metrics", "", "export metrics on exit (\"-\" = Prometheus to stdout, *.json = expvar JSON, else Prometheus to file)")
-		httpAddr   = flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
+		httpAddr   = flag.String("http", "", "serve the dashboard, /metrics and /debug/vars on this address during the run")
+		pprofOn    = flag.Bool("pprof", false, "additionally expose /debug/pprof on the -http address")
 	)
 	flag.Parse()
 
@@ -54,10 +58,21 @@ func main() {
 		os.Exit(2)
 	}
 
-	reg, finishObs, err := obs.StartCLI(*metricsOut, *httpAddr)
+	reg, srv, finishObs, err := obs.StartCLI(obs.CLIConfig{
+		MetricsPath: *metricsOut, HTTPAddr: *httpAddr, Pprof: *pprofOn,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if srv != nil {
+		// Admission has no simulated clock, so the rollup samples real
+		// time while the request stream runs.
+		rollup := timeseries.NewRollup(reg, 512)
+		stop := dashboard.DriveWallClock(rollup, time.Second)
+		defer stop()
+		dashboard.Attach(srv, dashboard.Options{Title: "silo-place", Rollup: rollup})
+		fmt.Printf("dashboard: http://%s/\n", srv.Addr())
 	}
 
 	tree, err := topology.New(topology.Config{

@@ -7,16 +7,28 @@
 //
 //	silo-sim -scheme silo -duration 0.1
 //	silo-sim -scheme tcp  -duration 0.1
+//	silo-sim -scheme silo -http :8080 -slo-report     # live dashboard
+//	silo-sim -scheme tcp  -series run_series.json     # dashboard payload to file
+//
+// SIGINT/SIGTERM stop the simulation cleanly: telemetry is flushed and
+// the -metrics/-trace/-series outputs are written for the simulated
+// time covered so far.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/experiments"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/obs/dashboard"
+	"repro/internal/obs/slo"
+	"repro/internal/obs/timeseries"
 	"repro/internal/pacer"
 	"repro/internal/placement"
 	"repro/internal/stats"
@@ -38,16 +50,20 @@ func main() {
 		vmsB        = flag.Int("vms-b", 9, "VMs of the bulk tenant")
 		seed        = flag.Uint64("seed", 3, "rng seed")
 		metricsOut  = flag.String("metrics", "", "export metrics on exit (\"-\" = Prometheus to stdout, *.json = expvar JSON, else Prometheus to file)")
-		httpAddr    = flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
+		httpAddr    = flag.String("http", "", "serve the live dashboard, /metrics and /debug/vars on this address during the run")
+		pprofOn     = flag.Bool("pprof", false, "additionally expose /debug/pprof on the -http address")
 		traceOut    = flag.String("trace", "", "record a flight trace and write it on exit (*.json = Chrome trace_event for Perfetto + silo-trace, *.csv = compact spans)")
 		traceSample = flag.Int("trace-sample", 1, "flight-trace sampling divisor: record 1 in N packets (rounded up to a power of two)")
+		sloReport   = flag.Bool("slo-report", false, "print the per-tenant SLO conformance and burn-rate report after the run")
+		seriesOut   = flag.String("series", "", "write the dashboard time-series payload (metrics rollup + SLO state) as JSON to this file on exit")
+		windowMs    = flag.Float64("window", 1, "SLO / time-series window in simulated milliseconds")
 	)
 	flag.Parse()
 
 	// Validate output destinations before the run, so a typo'd path
 	// fails in milliseconds instead of after the simulation.
 	for _, f := range []struct{ name, path string }{
-		{"-metrics", *metricsOut}, {"-trace", *traceOut},
+		{"-metrics", *metricsOut}, {"-trace", *traceOut}, {"-series", *seriesOut},
 	} {
 		if err := obs.ValidateOutputPath(f.name, f.path); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -58,8 +74,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-trace-sample: must be >= 1, got %d\n", *traceSample)
 		os.Exit(2)
 	}
+	if *windowMs <= 0 {
+		fmt.Fprintf(os.Stderr, "-window: must be > 0, got %g\n", *windowMs)
+		os.Exit(2)
+	}
 
-	reg, finishObs, err := obs.StartCLI(*metricsOut, *httpAddr)
+	reg, srv, finishObs, err := obs.StartCLI(obs.CLIConfig{
+		MetricsPath: *metricsOut,
+		HTTPAddr:    *httpAddr,
+		Pprof:       *pprofOn,
+		// -slo-report and -series consume the registry internally even
+		// when nothing is exported.
+		ForceRegistry: *sloReport || *seriesOut != "",
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -153,6 +180,36 @@ func main() {
 	}
 
 	horizon := int64(*duration * 1e9)
+	drainEnd := horizon + int64(3e9)
+
+	// Continuous telemetry: every -window of simulated time, snapshot
+	// the registry into the time-series rollup and advance the SLO
+	// burn-rate engine, with the live port-window tracker naming the
+	// culprit port of each violating window.
+	windowNs := int64(*windowMs * 1e6)
+	var rollup *timeseries.Rollup
+	var engine *slo.Engine
+	if reg != nil {
+		rollup = timeseries.NewRollup(reg, 512)
+		tracker := netsim.AttachPortWindowTracker(nw)
+		engine = slo.New(slo.Config{WindowNs: windowNs}, audit, tracker)
+		nw.Sim.Every(windowNs, drainEnd, func(now int64) {
+			rollup.Capture(now)
+			engine.Flush(now)
+			tracker.Reset()
+		})
+	}
+	dashOpts := dashboard.Options{
+		Title:  "silo-sim " + *schemeName,
+		Rollup: rollup,
+		Engine: engine,
+		Ports:  nw.PortMeta(),
+	}
+	if srv != nil {
+		dashboard.Attach(srv, dashOpts)
+		fmt.Printf("dashboard: http://%s/\n", srv.Addr())
+	}
+
 	lat := stats.NewSample(1 << 14)
 	rtos := 0
 	msgs := 0
@@ -197,7 +254,23 @@ func main() {
 		}
 	}
 
-	nw.Sim.Run(horizon + int64(3e9))
+	// SIGINT/SIGTERM stop the event loop between events; everything
+	// below still runs, so partial-run telemetry and traces are flushed
+	// and written rather than lost.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	nw.Sim.RunCtx(ctx, drainEnd)
+	interrupted := ctx.Err() != nil
+	stopSignals()
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "interrupted at t=%.3f ms simulated; flushing telemetry\n",
+			float64(nw.Sim.Now())/1e6)
+		if rollup != nil {
+			rollup.Capture(nw.Sim.Now())
+		}
+		if engine != nil {
+			engine.Flush(nw.Sim.Now())
+		}
+	}
 
 	bound := gA.MessageLatencyBound(float64(msg)) * 1e6
 	fmt.Printf("scheme=%s  tenantA=%d VMs all-to-one (%d B bursts)  tenantB=%d VMs shuffle\n",
@@ -231,6 +304,24 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("flight trace (1 in %d packets) written to %s\n", flight.SampleN(), *traceOut)
+	}
+	if *sloReport {
+		fmt.Println()
+		fmt.Print(engine.RenderReport())
+	}
+	if *seriesOut != "" {
+		f, err := os.Create(*seriesOut)
+		if err == nil {
+			err = dashboard.WriteJSON(f, dashOpts)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-series: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("time-series payload written to %s\n", *seriesOut)
 	}
 	if err := finishObs(); err != nil {
 		fmt.Fprintln(os.Stderr, err)

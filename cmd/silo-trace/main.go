@@ -14,6 +14,12 @@
 //	silo-sim -scheme tcp -duration 0.05 -trace run.json
 //	silo-trace run.json
 //	silo-trace -top 10 -violations run.json
+//	silo-trace -windows run.json
+//
+// -windows adds the SLO view of the trace: per-tenant conformance
+// bucketed into fixed windows, each violating window naming the
+// dominant culprit port — the offline counterpart of silo-sim's live
+// burn-rate engine.
 //
 // Chrome trace JSON recordings (*.json) carry full per-hop detail and
 // also load directly in Perfetto; CSV recordings (*.csv) reconstruct
@@ -26,6 +32,7 @@ import (
 	"os"
 
 	"repro/internal/obs"
+	"repro/internal/obs/slo"
 )
 
 func main() {
@@ -33,6 +40,8 @@ func main() {
 		top        = flag.Int("top", 5, "show the K slowest messages hop by hop")
 		violations = flag.Bool("violations", false, "drill into every delay-bound violation (default: first 3)")
 		portsN     = flag.Int("ports", 10, "rows in the per-port queueing table")
+		windows    = flag.Bool("windows", false, "windowed per-tenant SLO conformance with culprit ports")
+		windowMs   = flag.Float64("window", 1, "window width for -windows, in simulated milliseconds")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: silo-trace [flags] <trace.json|trace.csv>\n")
@@ -103,6 +112,11 @@ func main() {
 		if show < len(viols) {
 			fmt.Printf("... %d more (rerun with -violations)\n", len(viols)-show)
 		}
+	}
+
+	if *windows {
+		fmt.Println("\n== windowed SLO conformance ==")
+		fmt.Print(slo.RenderTraceWindows(slo.WindowsFromSpans(spans, int64(*windowMs*1e6)), ports))
 	}
 
 	if sum.Complete > 0 && sum.MaxAttributionErrNs == 0 {

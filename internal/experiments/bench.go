@@ -1,0 +1,343 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/pacer"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// BenchRecord is the machine-readable microbenchmark schema shared by
+// the committed baselines (BENCH_placement.json, BENCH_pacer.json,
+// BENCH_netsim.json) and `silo-bench -regress`. The per-op fields
+// (mean/p50/p99/max, allocs) are what the regression gate compares;
+// hosts/requests/accepted describe the workload so a baseline mismatch
+// is visible in the report.
+type BenchRecord struct {
+	Benchmark   string `json:"benchmark"`
+	Hosts       int    `json:"hosts"`
+	Requests    int    `json:"requests"`
+	Accepted    int    `json:"accepted"`
+	MeanNs      int64  `json:"mean_ns"`
+	P50Ns       int64  `json:"p50_ns"`
+	P99Ns       int64  `json:"p99_ns"`
+	MaxNs       int64  `json:"max_ns"`
+	TotalNs     int64  `json:"total_ns"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+// Record converts the placement benchmark result to the shared schema.
+func (r PlacementBenchResult) Record() BenchRecord {
+	return BenchRecord{
+		Benchmark: "placeub", Hosts: r.Hosts, Requests: r.Requests,
+		Accepted: r.Accepted, MeanNs: r.MeanNs, P50Ns: r.P50Ns,
+		P99Ns: r.P99Ns, MaxNs: r.MaxNs, TotalNs: r.TotalElapsedNs,
+		AllocsPerOp: r.AllocsPerOp,
+	}
+}
+
+// LoadBenchRecord reads one committed baseline.
+func LoadBenchRecord(path string) (BenchRecord, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return BenchRecord{}, err
+	}
+	var rec BenchRecord
+	if err := json.Unmarshal(b, &rec); err != nil {
+		return BenchRecord{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if rec.Benchmark == "" {
+		return BenchRecord{}, fmt.Errorf("%s: missing \"benchmark\" name", path)
+	}
+	return rec, nil
+}
+
+// WriteBenchRecord writes a baseline in the committed format (indented,
+// trailing newline — byte-identical to what `git diff` expects).
+func WriteBenchRecord(path string, rec BenchRecord) error {
+	b, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// BenchDelta is one compared metric of a baseline/current pair.
+type BenchDelta struct {
+	Metric    string
+	Base, Cur float64
+	// DeltaPct is (cur-base)/base in percent; +Inf-like growth from a
+	// zero base reports 100 per unit of current value.
+	DeltaPct float64
+	// Gating marks metrics the regression gate acts on (per-op mean,
+	// p99 and allocations); max and p50 ride along as context only.
+	Gating bool
+	// Regressed is set when a gating metric grew past the tolerance.
+	Regressed bool
+}
+
+// CompareBenchRecords diffs a current run against its committed
+// baseline. Gating metrics are mean_ns, p99_ns and allocs_per_op; a
+// gating metric regresses when it exceeds the baseline by more than
+// tolerancePct percent. Improvements never gate (a faster run always
+// passes), and the workload-shape fields must match or the comparison
+// refuses — per-op numbers from different request counts or fleets are
+// not comparable.
+func CompareBenchRecords(base, cur BenchRecord, tolerancePct float64) ([]BenchDelta, error) {
+	if base.Benchmark != cur.Benchmark {
+		return nil, fmt.Errorf("benchmark mismatch: baseline %q vs current %q", base.Benchmark, cur.Benchmark)
+	}
+	if base.Hosts != cur.Hosts || base.Requests != cur.Requests {
+		return nil, fmt.Errorf("%s: workload mismatch: baseline %d hosts/%d requests vs current %d/%d (regenerate the baseline)",
+			base.Benchmark, base.Hosts, base.Requests, cur.Hosts, cur.Requests)
+	}
+	if tolerancePct <= 0 {
+		tolerancePct = 25
+	}
+	mk := func(name string, b, c int64, gating bool) BenchDelta {
+		d := BenchDelta{Metric: name, Base: float64(b), Cur: float64(c), Gating: gating}
+		switch {
+		case b > 0:
+			d.DeltaPct = 100 * (d.Cur - d.Base) / d.Base
+		case c > 0:
+			// Zero baseline growing to anything: report the growth as
+			// 100% per unit so it always trips a gating metric.
+			d.DeltaPct = 100 * d.Cur
+		}
+		d.Regressed = gating && d.DeltaPct > tolerancePct
+		return d
+	}
+	return []BenchDelta{
+		mk("mean_ns", base.MeanNs, cur.MeanNs, true),
+		mk("p50_ns", base.P50Ns, cur.P50Ns, false),
+		mk("p99_ns", base.P99Ns, cur.P99Ns, true),
+		mk("max_ns", base.MaxNs, cur.MaxNs, false),
+		mk("allocs_per_op", base.AllocsPerOp, cur.AllocsPerOp, true),
+	}, nil
+}
+
+// AnyRegression reports whether any gating metric regressed.
+func AnyRegression(deltas []BenchDelta) bool {
+	for _, d := range deltas {
+		if d.Regressed {
+			return true
+		}
+	}
+	return false
+}
+
+// RenderBenchDeltas formats one benchmark's comparison table.
+func RenderBenchDeltas(name string, deltas []BenchDelta, tolerancePct float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (tolerance %.0f%% on gating metrics):\n", name, tolerancePct)
+	fmt.Fprintf(&b, "  %-14s %14s %14s %9s  %s\n", "metric", "baseline", "current", "delta", "verdict")
+	for _, d := range deltas {
+		verdict := "-"
+		if d.Gating {
+			verdict = "ok"
+			if d.Regressed {
+				verdict = "REGRESSED"
+			}
+		}
+		fmt.Fprintf(&b, "  %-14s %14.0f %14.0f %+8.1f%%  %s\n", d.Metric, d.Base, d.Cur, d.DeltaPct, verdict)
+	}
+	return b.String()
+}
+
+// PacerBenchParams configures the pacer microbenchmark ("pacerub"):
+// repeated Figure-10-style batch construction for a backlogged VM, so
+// the per-frame pacing cost gets a distribution (across reps) instead
+// of Figure 10's single point per rate.
+type PacerBenchParams struct {
+	// LineRateBps of the NIC and RateLimitGbps of the VM (8 of 10 Gbps
+	// keeps a realistic void/data mix in the batches).
+	LineRateBps   float64
+	RateLimitGbps float64
+	// WireSeconds of traffic paced per rep and PayloadBytes per frame.
+	WireSeconds  float64
+	PayloadBytes int
+	// Reps is the sample size (one ns/frame sample per rep).
+	Reps int
+}
+
+// DefaultPacerBenchParams paces 10 ms of 8-of-10 Gbps traffic per rep.
+func DefaultPacerBenchParams() PacerBenchParams {
+	return PacerBenchParams{
+		LineRateBps:   10 * gbps,
+		RateLimitGbps: 8,
+		WireSeconds:   0.01,
+		PayloadBytes:  1500,
+		Reps:          30,
+	}
+}
+
+// RunPacerBench measures the pacer's batch-construction hot path. One
+// op is one wire frame (data or void); each rep paces a fresh
+// backlogged VM through the full horizon and contributes one ns/frame
+// sample, so p50/p99/max expose rep-to-rep jitter rather than
+// per-frame noise. Requests counts all frames built, Accepted the data
+// frames among them.
+func RunPacerBench(p PacerBenchParams) BenchRecord {
+	if p.Reps <= 0 {
+		p.Reps = DefaultPacerBenchParams().Reps
+	}
+	rate := p.RateLimitGbps * gbps
+	horizonNs := int64(p.WireSeconds * 1e9)
+	nData := int(rate * p.WireSeconds / float64(p.PayloadBytes))
+
+	rec := BenchRecord{Benchmark: "pacerub", Hosts: 1}
+	perFrame := stats.NewSample(p.Reps)
+	var frames, dataFrames int64
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for rep := 0; rep < p.Reps; rep++ {
+		vm := pacer.NewVM(1, pacer.Guarantee{
+			BandwidthBps: rate,
+			BurstBytes:   float64(p.PayloadBytes),
+			BurstRateBps: 0,
+			MTUBytes:     float64(p.PayloadBytes),
+		}, 0)
+		b := pacer.NewBatcher(p.LineRateBps)
+		repStart := time.Now()
+		for i := 0; i < nData; i++ {
+			vm.Enqueue(0, 2, p.PayloadBytes, nil)
+		}
+		var repFrames int64
+		var cursor int64
+		for cursor < horizonNs {
+			batch := b.Build(cursor, []*pacer.VM{vm})
+			if len(batch.Packets) == 0 {
+				break
+			}
+			repFrames += int64(len(batch.Packets))
+			dataFrames += int64(batch.DataPackets())
+			cursor = batch.End
+		}
+		frames += repFrames
+		if repFrames > 0 {
+			perFrame.Add(float64(time.Since(repStart).Nanoseconds()) / float64(repFrames))
+		}
+	}
+	rec.TotalNs = time.Since(start).Nanoseconds()
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
+	rec.Requests = int(frames)
+	rec.Accepted = int(dataFrames)
+	if frames > 0 {
+		rec.AllocsPerOp = int64(ms1.Mallocs-ms0.Mallocs) / frames
+	}
+	rec.MeanNs = int64(perFrame.Mean())
+	rec.P50Ns = int64(perFrame.Percentile(50))
+	rec.P99Ns = int64(perFrame.Percentile(99))
+	rec.MaxNs = int64(perFrame.Max())
+	return rec
+}
+
+// NetsimBenchParams configures the packet-simulator microbenchmark
+// ("netsimub"): reps of a cross-rack permutation blast through a small
+// fabric, measuring the discrete-event engine's wall-clock cost per
+// simulated packet.
+type NetsimBenchParams struct {
+	// PacketsPerHost injected per host per rep.
+	PacketsPerHost int
+	// Reps is the sample size (one ns/packet sample per rep).
+	Reps int
+}
+
+// DefaultNetsimBenchParams blasts 1000 packets per host across an
+// 8-host, 2-pod fabric, 25 times.
+func DefaultNetsimBenchParams() NetsimBenchParams {
+	return NetsimBenchParams{PacketsPerHost: 1000, Reps: 25}
+}
+
+// RunNetsimBench measures the event engine end to end: scheduling,
+// queueing, per-hop forwarding and delivery. One op is one simulated
+// packet; each rep injects a line-rate permutation (host h to host
+// h+3 mod N, always crossing at least a rack boundary) and runs the
+// simulator until the fabric drains, contributing one ns/packet
+// sample. The network is built once — reps extend simulated time, as
+// a long-running simulation would.
+func RunNetsimBench(p NetsimBenchParams) (BenchRecord, error) {
+	if p.Reps <= 0 {
+		p.Reps = DefaultNetsimBenchParams().Reps
+	}
+	if p.PacketsPerHost <= 0 {
+		p.PacketsPerHost = DefaultNetsimBenchParams().PacketsPerHost
+	}
+	tree, err := topology.New(topology.Config{
+		Pods:           2,
+		RacksPerPod:    2,
+		ServersPerRack: 2,
+		SlotsPerServer: 4,
+		LinkBps:        10 * gbps,
+		BufferBytes:    312e3,
+		NICBufferBytes: 150e3,
+		RackOversub:    1,
+		PodOversub:     1,
+	})
+	if err != nil {
+		return BenchRecord{}, err
+	}
+	nw := netsim.Build(netsim.NewSim(), tree, netsim.Options{PropNs: 200})
+	hosts := len(nw.Hosts)
+	var deliveredCount int64
+	for _, h := range nw.Hosts {
+		h.OnDeliver = func(*netsim.Packet, int64) { deliveredCount++ }
+	}
+
+	const size = 1500
+	// Frame time at line rate; senders pace themselves so queues stay
+	// shallow and the cost measured is the engine, not drop handling.
+	gapNs := int64(float64(size*8) / (10 * gbps * 8) * 1e9)
+	perPacket := stats.NewSample(p.Reps)
+	rec := BenchRecord{Benchmark: "netsimub", Hosts: hosts}
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for rep := 0; rep < p.Reps; rep++ {
+		repStart := time.Now()
+		base := nw.Sim.Now()
+		for i := 0; i < p.PacketsPerHost; i++ {
+			at := base + int64(i)*gapNs
+			for h := 0; h < hosts; h++ {
+				h := h
+				nw.Sim.At(at, func() {
+					nw.Hosts[h].Send(&netsim.Packet{Src: h, Dst: (h + 3) % hosts, Size: size})
+				})
+			}
+		}
+		// Drain: horizon comfortably past the last injection.
+		nw.Sim.Run(base + int64(p.PacketsPerHost)*gapNs + int64(1e6))
+		perPacket.Add(float64(time.Since(repStart).Nanoseconds()) / float64(p.PacketsPerHost*hosts))
+	}
+	rec.TotalNs = time.Since(start).Nanoseconds()
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
+	rec.Requests = p.Reps * p.PacketsPerHost * hosts
+	rec.Accepted = int(deliveredCount)
+	if rec.Requests > 0 {
+		rec.AllocsPerOp = int64(ms1.Mallocs-ms0.Mallocs) / int64(rec.Requests)
+	}
+	rec.MeanNs = int64(perPacket.Mean())
+	rec.P50Ns = int64(perPacket.Percentile(50))
+	rec.P99Ns = int64(perPacket.Percentile(99))
+	rec.MaxNs = int64(perPacket.Max())
+	return rec, nil
+}
+
+// Render formats a benchmark record the way PlacementBenchResult does.
+func (r BenchRecord) Render() string {
+	return fmt.Sprintf(
+		"%s: hosts=%d requests=%d accepted=%d mean=%.0fns p50=%.0fns p99=%.0fns max=%.0fns total=%.2fs allocs/op=%d\n",
+		r.Benchmark, r.Hosts, r.Requests, r.Accepted,
+		float64(r.MeanNs), float64(r.P50Ns), float64(r.P99Ns), float64(r.MaxNs),
+		float64(r.TotalNs)/1e9, r.AllocsPerOp)
+}

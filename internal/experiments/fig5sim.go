@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/obs/slo"
 	"repro/internal/placement"
 	"repro/internal/stats"
 	"repro/internal/tenant"
@@ -185,6 +186,9 @@ func (r Figure5SimResult) Render() string {
 	if r.Flight.Spans > 0 {
 		b.WriteString(r.Flight.Render())
 		b.WriteByte('\n')
+		// The burst-windowed SLO view: conformance per millisecond round
+		// with the dominant culprit port, straight from the trace.
+		b.WriteString(slo.RenderTraceWindows(slo.WindowsFromSpans(r.Spans, int64(1e6)), r.Ports))
 	}
 	return b.String()
 }

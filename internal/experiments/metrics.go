@@ -24,7 +24,7 @@ func (d *Deployment) EnableTelemetry(nw *netsim.Network, reg *obs.Registry, a *o
 	for i, id := range d.VMIDs {
 		host := nw.Hosts[d.Placement.Servers[i]]
 		if vm, ok := host.VM(id); ok {
-			mx := pacer.NewVMMetrics(reg, id)
+			mx := pacer.NewVMMetrics(reg, id, d.Spec.ID)
 			if ta != nil {
 				if mx == nil {
 					// No registry, but the audit still wants the

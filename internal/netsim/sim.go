@@ -13,7 +13,10 @@
 // Time is int64 nanoseconds.
 package netsim
 
-import "container/heap"
+import (
+	"container/heap"
+	"context"
+)
 
 // Sim is the event loop.
 type Sim struct {
@@ -58,6 +61,60 @@ func (s *Sim) Run(until int64) int {
 		s.now = until
 	}
 	return n
+}
+
+// RunCtx is Run with cooperative cancellation: every 256 events (and
+// before the first) it polls ctx and, when cancelled, returns
+// immediately without advancing the clock to until — so a signal
+// handler can stop a long run and the caller still flushes telemetry
+// consistent with the time actually simulated. Returns the number of
+// events executed.
+func (s *Sim) RunCtx(ctx context.Context, until int64) int {
+	n := 0
+	for s.events.Len() > 0 {
+		if n&255 == 0 {
+			select {
+			case <-ctx.Done():
+				return n
+			default:
+			}
+		}
+		ev := s.events[0]
+		if ev.t > until {
+			break
+		}
+		heap.Pop(&s.events)
+		s.now = ev.t
+		ev.fn()
+		n++
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return n
+}
+
+// Every schedules fn at now+period, now+2·period, ... for every tick
+// not after untilNs. This is the clock-driven flush hook behind the
+// continuous-telemetry rollup: the time-series capture and the SLO
+// window flush ride the simulated clock, never the wall clock. The
+// stop time is explicit so an idle simulation can still drain its
+// event heap.
+func (s *Sim) Every(periodNs, untilNs int64, fn func(nowNs int64)) {
+	if periodNs <= 0 || fn == nil {
+		return
+	}
+	var schedule func(t int64)
+	schedule = func(t int64) {
+		if t > untilNs {
+			return
+		}
+		s.At(t, func() {
+			fn(t)
+			schedule(t + periodNs)
+		})
+	}
+	schedule(s.now + periodNs)
 }
 
 // Pending reports queued events.

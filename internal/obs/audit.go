@@ -150,6 +150,16 @@ func (a *GuaranteeAuditor) ObserveDelay(id int, delayNs int64) {
 	}
 }
 
+// NumTenants returns the number of admitted tenants without
+// allocating (the SLO engine polls it every window to decide whether
+// its cached tenant list is stale).
+func (a *GuaranteeAuditor) NumTenants() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.tenants.Load().(map[int]*TenantAudit))
+}
+
 // Tenants returns the admitted tenants sorted by ID.
 func (a *GuaranteeAuditor) Tenants() []*TenantAudit {
 	if a == nil {

@@ -1,0 +1,134 @@
+package dashboard
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/slo"
+	"repro/internal/obs/timeseries"
+)
+
+func testSources(t *testing.T) Options {
+	t.Helper()
+	reg := obs.NewRegistry()
+	hwm := reg.Gauge("silo_netsim_queue_hwm_bytes", "", "port", "nic0")
+	auditor := obs.NewGuaranteeAuditor(reg)
+	auditor.Admit(3, 1e9, 15e3, 1e-3)
+
+	rollup := timeseries.NewRollup(reg, 64)
+	engine := slo.New(slo.Config{WindowNs: 1e6}, auditor, nil)
+	for i := 1; i <= 4; i++ {
+		hwm.Set(int64(1000 * i))
+		for j := 0; j < 10; j++ {
+			auditor.ObserveDelay(3, 100_000)
+		}
+		auditor.ObserveDelay(3, 5e6) // one violation per window
+		rollup.Capture(int64(i) * 1e6)
+		engine.Flush(int64(i) * 1e6)
+	}
+	return Options{Title: "test run", Rollup: rollup, Engine: engine}
+}
+
+func TestBuildPayload(t *testing.T) {
+	p := BuildPayload(testSources(t))
+	if p.Title != "test run" || p.Captures != 4 || p.NowNs != 4e6 {
+		t.Errorf("payload header = %+v", p)
+	}
+	if len(p.Series) == 0 {
+		t.Fatal("no series in payload")
+	}
+	if p.SLO == nil || len(p.SLO.Tenants) != 1 {
+		t.Fatalf("slo view = %+v", p.SLO)
+	}
+	tv := p.SLO.Tenants[0]
+	if tv.ID != 3 || tv.Violated != 4 || len(tv.Points) != 4 {
+		t.Errorf("tenant view = %+v", tv)
+	}
+	if len(p.SLO.Events) == 0 || !strings.Contains(p.SLO.Events[0].Text, "tenant=3") {
+		t.Errorf("events = %+v", p.SLO.Events)
+	}
+}
+
+func TestAttachServesDashboardAndAPI(t *testing.T) {
+	opts := testSources(t)
+	srv, err := obs.ServeDebug("127.0.0.1:0", obs.NewRegistry(), obs.DebugOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	Attach(srv, opts)
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/")
+	if code != 200 || !strings.Contains(body, "<!DOCTYPE html>") || !strings.Contains(body, "/api/series") {
+		t.Errorf("dashboard page: code=%d len=%d", code, len(body))
+	}
+	if code, _ := get("/no-such-page"); code != 404 {
+		t.Errorf("unknown path = %d, want 404", code)
+	}
+
+	code, body = get("/api/series")
+	if code != 200 {
+		t.Fatalf("/api/series = %d", code)
+	}
+	var p Payload
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("api json: %v", err)
+	}
+	if p.SLO == nil || len(p.SLO.Tenants) != 1 || p.SLO.Tenants[0].ID != 3 {
+		t.Errorf("api payload slo = %+v", p.SLO)
+	}
+	// Existing endpoints survive the attach.
+	if code, _ := get("/metrics"); code != 200 {
+		t.Errorf("/metrics broken after Attach: %d", code)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var b strings.Builder
+	if err := WriteJSON(&b, testSources(t)); err != nil {
+		t.Fatal(err)
+	}
+	var p Payload
+	if err := json.Unmarshal([]byte(b.String()), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Captures != 4 {
+		t.Errorf("round-trip captures = %d", p.Captures)
+	}
+}
+
+func TestDriveWallClock(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("c_total", "")
+	r := timeseries.NewRollup(reg, 16)
+	stop := DriveWallClock(r, 2*time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for r.Captures() < 2 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	if r.Captures() < 2 {
+		t.Errorf("wall-clock driver captured %d times", r.Captures())
+	}
+	if stop := DriveWallClock(nil, time.Millisecond); stop == nil {
+		t.Error("nil rollup should return a no-op stop")
+	} else {
+		stop()
+	}
+}

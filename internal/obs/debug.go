@@ -7,24 +7,36 @@ import (
 	"time"
 )
 
+// DebugOptions configures the live observability endpoint.
+type DebugOptions struct {
+	// Pprof exposes the standard /debug/pprof handlers. It is an
+	// opt-in (the CLIs gate it behind -pprof): profiling handlers on a
+	// long-lived endpoint cost nothing until scraped, but they allow
+	// anyone who can reach the port to pause the process for seconds
+	// at a time, so they are off unless asked for.
+	Pprof bool
+}
+
 // DebugServer is a live observability endpoint:
 //
 //	/metrics      Prometheus text exposition
 //	/debug/vars   expvar-style JSON
-//	/debug/pprof  the standard Go profiling handlers
+//	/debug/pprof  the standard Go profiling handlers (DebugOptions.Pprof)
 //
-// It exists so long runs (scale experiments, soak tests) can be
-// inspected and profiled without stopping them.
+// Additional handlers (the continuous-telemetry dashboard, /api/series)
+// attach through Handle. It exists so long runs (scale experiments,
+// soak tests) can be inspected and profiled without stopping them.
 type DebugServer struct {
 	ln  net.Listener
+	mux *http.ServeMux
 	srv *http.Server
 }
 
 // ServeDebug starts the debug endpoint on addr (e.g. ":6060" or
 // "127.0.0.1:6060") and returns immediately; the server runs until
 // Close. reg may be nil, in which case /metrics and /debug/vars serve
-// empty documents and only pprof is useful.
-func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+// empty documents.
+func ServeDebug(addr string, reg *Registry, opts DebugOptions) (*DebugServer, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -34,23 +46,46 @@ func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		_ = reg.WriteExpvarJSON(w)
 	})
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if opts.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	d := &DebugServer{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	d := &DebugServer{ln: ln, mux: mux, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
 	go func() { _ = d.srv.Serve(ln) }()
 	return d, nil
 }
 
-// Addr returns the bound address (useful with ":0").
-func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+// Handle registers an additional handler on the endpoint's mux
+// (http.ServeMux registration is safe while serving). A nil DebugServer
+// ignores the call, so dashboard wiring needs no "-http set?" branch.
+func (d *DebugServer) Handle(pattern string, h http.Handler) {
+	if d == nil {
+		return
+	}
+	d.mux.Handle(pattern, h)
+}
 
-// Close stops the server.
-func (d *DebugServer) Close() error { return d.srv.Close() }
+// Addr returns the bound address (useful with ":0"); "" for a nil
+// server.
+func (d *DebugServer) Addr() string {
+	if d == nil {
+		return ""
+	}
+	return d.ln.Addr().String()
+}
+
+// Close stops the server. A nil server is a no-op.
+func (d *DebugServer) Close() error {
+	if d == nil {
+		return nil
+	}
+	return d.srv.Close()
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden scrape file")
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"silo_pacer_delay_us", "silo_pacer_delay_us"},
+		{"ns:rule", "ns:rule"}, // recording-rule colon is legal in metric names
+		{"9lives", "_9lives"},
+		{"bad name", "bad_name"},
+		{"per-port.queue", "per_port_queue"},
+		{"", "_"},
+		{"µs_total", "__s_total"}, // multi-byte rune: one '_' per byte
+	}
+	for _, c := range cases {
+		if got := SanitizeMetricName(c.in); got != c.want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// Valid names come back unchanged without allocating.
+	if n := testing.AllocsPerRun(100, func() { SanitizeMetricName("silo_ok_total") }); n != 0 {
+		t.Errorf("valid name sanitization allocates %.0f/op", n)
+	}
+}
+
+func TestSanitizeLabelName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"tenant", "tenant"},
+		{"ns:rule", "ns_rule"}, // colon is NOT legal in label names
+		{"0bad", "_0bad"},
+		{"has space", "has_space"},
+		{"", "_"},
+	}
+	for _, c := range cases {
+		if got := SanitizeLabelName(c.in); got != c.want {
+			t.Errorf("SanitizeLabelName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPrometheusExportSanitizesIdentifiers(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("9bad name-total", "oops", "bad-label", "v").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `_9bad_name_total{bad_label="v"} 1`) {
+		t.Errorf("identifiers not sanitized:\n%s", out)
+	}
+	if strings.Contains(out, "bad-label") || strings.Contains(out, "9bad name") {
+		t.Errorf("raw identifiers leaked into exposition:\n%s", out)
+	}
+}
+
+// TestPromHistogramBucketsMonotonic checks the exposition invariants a
+// Prometheus server enforces on scrape: cumulative le-bucket counts
+// never decrease, le bounds strictly increase, and the +Inf bucket
+// equals _count.
+func TestPromHistogramBucketsMonotonic(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("m_us", "")
+	for _, v := range []int64{0, 1, 1, 2, 7, 8, 100, 1e6, 1e12, -5} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	bucketRe := regexp.MustCompile(`^m_us_bucket\{le="([^"]+)"\} (\d+)$`)
+	var lastBound, lastCum float64
+	var infCum, count float64 = -1, -1
+	buckets := 0
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if m := bucketRe.FindStringSubmatch(line); m != nil {
+			buckets++
+			cum, _ := strconv.ParseFloat(m[2], 64)
+			if cum < lastCum {
+				t.Errorf("cumulative count fell %v -> %v at le=%s", lastCum, cum, m[1])
+			}
+			lastCum = cum
+			if m[1] == "+Inf" {
+				infCum = cum
+				continue
+			}
+			bound, err := strconv.ParseFloat(m[1], 64)
+			if err != nil {
+				t.Fatalf("unparseable le %q", m[1])
+			}
+			if bound <= lastBound && lastBound != 0 {
+				t.Errorf("le bounds not increasing: %v after %v", bound, lastBound)
+			}
+			lastBound = bound
+		}
+		if rest, ok := strings.CutPrefix(line, "m_us_count "); ok {
+			count, _ = strconv.ParseFloat(rest, 64)
+		}
+	}
+	if buckets < 3 {
+		t.Fatalf("only %d bucket lines in:\n%s", buckets, sb.String())
+	}
+	if infCum != count || count != 10 {
+		t.Errorf("+Inf bucket = %v, _count = %v, want both 10", infCum, count)
+	}
+}
+
+// TestPrometheusGoldenScrape pins the full exposition format against a
+// checked-in scrape. Regenerate with:
+//
+//	go test ./internal/obs/ -run TestPrometheusGoldenScrape -update
+func TestPrometheusGoldenScrape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("silo_pacer_committed_total", "packets committed through the token-bucket chain", "vm", "1000", "tenant", "1").Add(448)
+	r.Counter("silo_pacer_committed_total", "packets committed through the token-bucket chain", "vm", "1001", "tenant", "1").Add(450)
+	r.Gauge("silo_netsim_queue_hwm_bytes", "queue high-water mark", "port", "tor0->srv1").Set(312000)
+	r.GaugeFunc("silo_place_headroom_seconds", "tightest remaining slack", func() float64 { return 0.00125 }, "family", "all")
+	h := r.Histogram("silo_pacer_delay_us", "pacing delay (µs)", "vm", "1000", "tenant", "1")
+	for _, v := range []int64{0, 2, 3, 17, 250} {
+		h.Observe(v)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "scrape.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if sb.String() != string(want) {
+		t.Errorf("scrape drifted from %s (rerun with -update if intentional)\n--- got ---\n%s--- want ---\n%s",
+			golden, sb.String(), want)
+	}
+}

@@ -367,7 +367,7 @@ func TestWriteFileFormats(t *testing.T) {
 func TestServeDebug(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("hits_total", "").Add(11)
-	d, err := ServeDebug("127.0.0.1:0", r)
+	d, err := ServeDebug("127.0.0.1:0", r, DebugOptions{Pprof: true})
 	if err != nil {
 		t.Fatal(err)
 	}

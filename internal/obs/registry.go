@@ -142,6 +142,75 @@ func (r *Registry) snapshotEntries() []*entry {
 	return append([]*entry(nil), r.entries...)
 }
 
+// MetricRef is a stable, allocation-free handle on one registered
+// metric. Entries are append-only, so an index observed through
+// NumMetrics keeps referring to the same metric for the registry's
+// lifetime — the time-series rollup exploits this to map registry
+// indices onto preallocated rings without a per-capture lookup.
+type MetricRef struct{ e *entry }
+
+// Valid reports whether the handle refers to a metric.
+func (m MetricRef) Valid() bool { return m.e != nil }
+
+// Name returns the base metric name.
+func (m MetricRef) Name() string { return m.e.name }
+
+// Labels returns the alternating key, value label pairs. The slice is
+// owned by the registry; callers must not mutate it.
+func (m MetricRef) Labels() []string { return m.e.labels }
+
+// Kind returns the metric kind.
+func (m MetricRef) Kind() Kind { return m.e.kind }
+
+// Key renders the unique identity (name plus label block). It
+// allocates; call it at series-registration time, not per capture.
+func (m MetricRef) Key() string { return m.e.key() }
+
+// ScalarValue reads a counter, gauge or gauge-func value. Histograms
+// return 0 (read them through Hist).
+func (m MetricRef) ScalarValue() float64 {
+	switch m.e.kind {
+	case KindCounter:
+		return float64(m.e.c.Value())
+	case KindGauge:
+		return float64(m.e.g.Value())
+	case KindGaugeFunc:
+		return m.e.gf()
+	}
+	return 0
+}
+
+// Hist returns the underlying histogram (nil for scalar metrics).
+func (m MetricRef) Hist() *Histogram { return m.e.h }
+
+// NumMetrics returns the number of registered metrics. Registration is
+// append-only, so indices below the returned count stay valid. A nil
+// registry has zero metrics.
+func (r *Registry) NumMetrics() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// MetricAt returns the i-th registered metric in registration order,
+// or an invalid handle if i is out of range. Entry fields are immutable
+// after registration, so the handle may be read without further
+// locking.
+func (r *Registry) MetricAt(i int) MetricRef {
+	if r == nil || i < 0 {
+		return MetricRef{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i >= len(r.entries) {
+		return MetricRef{}
+	}
+	return MetricRef{e: r.entries[i]}
+}
+
 // HistValue is a histogram's state in a snapshot (non-cumulative
 // buckets).
 type HistValue struct {

@@ -11,7 +11,7 @@ import (
 // one branch per event and allocates nothing, so pacing hot paths can
 // call them unconditionally.
 //
-// Metric names (label vm="<id>"):
+// Metric names (labels vm="<id>", tenant="<id>"):
 //
 //	silo_pacer_delay_us            histogram of pacing delay: commit
 //	                               release minus enqueue time
@@ -35,25 +35,28 @@ type VMMetrics struct {
 	Audit *obs.TenantAudit
 }
 
-// NewVMMetrics registers the per-VM pacer metrics. A nil registry
-// returns nil, which disables instrumentation on the VM it is attached
-// to.
-func NewVMMetrics(reg *obs.Registry, vmID int) *VMMetrics {
+// NewVMMetrics registers the per-VM pacer metrics, labelled with both
+// the VM and its owning tenant — the tenant label is what lets the
+// SLO dashboard and per-tenant burn-rate queries aggregate a tenant's
+// VMs without a join table. A nil registry returns nil, which disables
+// instrumentation on the VM it is attached to.
+func NewVMMetrics(reg *obs.Registry, vmID, tenantID int) *VMMetrics {
 	if reg == nil {
 		return nil
 	}
 	l := strconv.Itoa(vmID)
+	tn := strconv.Itoa(tenantID)
 	return &VMMetrics{
 		PacingDelayUs: reg.Histogram("silo_pacer_delay_us",
-			"pacing delay from enqueue to committed release (µs)", "vm", l),
+			"pacing delay from enqueue to committed release (µs)", "vm", l, "tenant", tn),
 		CurveDelayed: reg.Counter("silo_pacer_curve_delayed_total",
-			"packets delayed by the token buckets to keep the arrival curve conformant", "vm", l),
+			"packets delayed by the token buckets to keep the arrival curve conformant", "vm", l, "tenant", tn),
 		Committed: reg.Counter("silo_pacer_committed_total",
-			"packets committed through the token-bucket chain", "vm", l),
+			"packets committed through the token-bucket chain", "vm", l, "tenant", tn),
 		QueuedBytes: reg.Gauge("silo_pacer_queued_bytes",
-			"bytes awaiting tokens in the VM's destination queues", "vm", l),
+			"bytes awaiting tokens in the VM's destination queues", "vm", l, "tenant", tn),
 		QueuedHWM: reg.Gauge("silo_pacer_queued_bytes_hwm",
-			"high-water mark of bytes awaiting tokens", "vm", l),
+			"high-water mark of bytes awaiting tokens", "vm", l, "tenant", tn),
 	}
 }
 

@@ -17,7 +17,11 @@ import (
 //	silo_place_admission_us              admission latency histogram
 //	                                     (wall clock, accepted and
 //	                                     rejected requests alike)
-//	silo_place_accepted_total            admitted requests
+//	silo_place_accepted_total{slo=}      admitted requests, split by SLO
+//	                                     class: "delay-bounded" (d > 0,
+//	                                     the tenants the SLO engine
+//	                                     tracks) vs "bulk" (bandwidth
+//	                                     only)
 //	silo_place_rejected_total{reason=}   rejections, reason "no-fit"
 //	                                     (admission control found no
 //	                                     placement) or "invalid" (bad
@@ -30,13 +34,14 @@ import (
 // EnableMetrics additionally registers pull-time headroom gauges (see
 // there).
 type Metrics struct {
-	AdmissionUs   *obs.Histogram
-	Accepted      *obs.Counter
-	RejectedNoFit *obs.Counter
-	RejectedOther *obs.Counter
-	FastPath      *obs.Counter
-	RefPath       *obs.Counter
-	Removed       *obs.Counter
+	AdmissionUs     *obs.Histogram
+	AcceptedBounded *obs.Counter
+	AcceptedBulk    *obs.Counter
+	RejectedNoFit   *obs.Counter
+	RejectedOther   *obs.Counter
+	FastPath        *obs.Counter
+	RefPath         *obs.Counter
+	Removed         *obs.Counter
 }
 
 // NewMetrics registers the placement metrics. A nil registry returns
@@ -48,8 +53,10 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 	return &Metrics{
 		AdmissionUs: reg.Histogram("silo_place_admission_us",
 			"admission-control latency per request (µs, wall clock)"),
-		Accepted: reg.Counter("silo_place_accepted_total",
-			"tenant requests admitted"),
+		AcceptedBounded: reg.Counter("silo_place_accepted_total",
+			"tenant requests admitted", "slo", "delay-bounded"),
+		AcceptedBulk: reg.Counter("silo_place_accepted_total",
+			"tenant requests admitted", "slo", "bulk"),
 		RejectedNoFit: reg.Counter("silo_place_rejected_total",
 			"tenant requests rejected", "reason", "no-fit"),
 		RejectedOther: reg.Counter("silo_place_rejected_total",
@@ -64,14 +71,17 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 }
 
 // notePlace records one admission request's outcome and latency.
-func (mx *Metrics) notePlace(elapsed time.Duration, err error, noFastPath bool) {
+// delayBounded classifies the request's SLO class (d > 0).
+func (mx *Metrics) notePlace(elapsed time.Duration, err error, noFastPath, delayBounded bool) {
 	if mx == nil {
 		return
 	}
 	mx.AdmissionUs.Observe(elapsed.Microseconds())
 	switch {
+	case err == nil && delayBounded:
+		mx.AcceptedBounded.Inc()
 	case err == nil:
-		mx.Accepted.Inc()
+		mx.AcceptedBulk.Inc()
 	case errors.Is(err, ErrRejected):
 		mx.RejectedNoFit.Inc()
 	default:

@@ -267,7 +267,7 @@ func (m *Manager) Place(spec tenant.Spec) (*tenant.Placement, error) {
 	}
 	start := time.Now()
 	pl, err := m.place(spec)
-	m.mx.notePlace(time.Since(start), err, m.opts.NoFastPath)
+	m.mx.notePlace(time.Since(start), err, m.opts.NoFastPath, spec.Guarantee.DelayBound > 0)
 	return pl, err
 }
 
