@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: all ci vet build test test-race bench-placement bench-obs bench-telemetry regress baselines
+.PHONY: all ci vet build test test-race test-faults bench-placement bench-obs bench-telemetry regress baselines
 
 all: vet build test
 
 # Everything CI runs, in order. The race pass covers the packages with
 # concurrent hot paths: the sharded obs histograms and the pacer.
-ci: vet build test
+ci: vet build test test-faults
 	$(GO) test -race ./internal/obs/... ./internal/pacer/...
 
 vet:
@@ -22,6 +22,15 @@ test:
 # placement scope search and the netcal primitives it leans on).
 test-race:
 	$(GO) test -race ./internal/placement/... ./internal/netcal/...
+
+# The fault-injection and recovery suite: the injector itself (with the
+# race detector — the injector shares netsim with concurrent recovery
+# hooks in tests), the placement Recover/VerifyInvariants path, and the
+# end-to-end ToR-failure drill.
+test-faults:
+	$(GO) test -race ./internal/faults/...
+	$(GO) test -run 'Recover|Churn' ./internal/placement/ ./internal/transport/
+	$(GO) test -run FailureDrill ./internal/experiments/
 
 # Reproduces the placement-at-scale numbers recorded in
 # bench_all_output.txt (see README.md "Placement at scale").

@@ -86,7 +86,7 @@ func writeCSV(name string, header []string, rows [][]float64) {
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "experiment to run (all|fig1|table1|fig5|fig10|fig11|fig12|fig15|fig16a|fig16b|placeub|pacerub|netsimub|besteffort|burststress)")
+		run      = flag.String("run", "all", "experiment to run (all|fig1|table1|fig5|fig10|fig11|fig12|fig15|fig16a|fig16b|placeub|pacerub|netsimub|besteffort|burststress|faultdrill)")
 		duration = flag.Float64("duration", 0, "override simulated seconds for packet-level experiments")
 		requests = flag.Int("requests", 0, "override request count for the placement microbenchmark")
 		seed     = flag.Uint64("seed", 0, "override RNG seed")
@@ -150,8 +150,9 @@ func main() {
 		"netsimub":    runNetsimUB,
 		"besteffort":  func() error { return runBestEffort(*duration, *seed) },
 		"burststress": runBurstStressCmd,
+		"faultdrill":  func() error { return runFaultDrill(*seed) },
 	}
-	order := []string{"fig1", "table1", "fig5", "fig10", "fig11", "fig12", "fig15", "fig16a", "fig16b", "placeub", "pacerub", "netsimub", "besteffort", "burststress"}
+	order := []string{"fig1", "table1", "fig5", "fig10", "fig11", "fig12", "fig15", "fig16a", "fig16b", "placeub", "pacerub", "netsimub", "besteffort", "burststress", "faultdrill"}
 
 	names := strings.Split(*run, ",")
 	if *run == "all" {
@@ -468,6 +469,33 @@ func runBurstStressCmd() error {
 		return err
 	}
 	fmt.Print(experiments.RenderBurstStress(rs))
+	return nil
+}
+
+// drillVerdictCode encodes drill verdicts for the CSV artifact.
+var drillVerdictCode = map[string]float64{"ok": 0, "relocated": 1, "degraded": 2, "evicted": 3}
+
+func runFaultDrill(seed uint64) error {
+	p := experiments.DefaultFailureDrillParams()
+	if seed != 0 {
+		p.Seed = seed
+	}
+	fmt.Println("Failure drill — ToR death under admitted load: evacuation, re-admission, degraded-mode SLO accounting:")
+	r, err := experiments.RunFailureDrill(p)
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Render())
+	var rows [][]float64
+	for _, row := range r.Rows {
+		rows = append(rows, []float64{float64(row.ID), drillVerdictCode[row.Verdict],
+			float64(row.RecoveryNs) / 1e6, float64(row.Messages),
+			float64(row.Delivered), float64(row.Violated), float64(row.InFault)})
+	}
+	writeCSV("faultdrill.csv", []string{"tenant", "verdict", "recovery_ms", "messages", "delivered", "violated", "in_fault"}, rows)
+	if r.InvariantsErr != "" {
+		return fmt.Errorf("placement invariants after recovery: %s", r.InvariantsErr)
+	}
 	return nil
 }
 

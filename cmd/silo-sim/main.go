@@ -9,6 +9,7 @@
 //	silo-sim -scheme tcp  -duration 0.1
 //	silo-sim -scheme silo -http :8080 -slo-report     # live dashboard
 //	silo-sim -scheme tcp  -series run_series.json     # dashboard payload to file
+//	silo-sim -scheme silo -fault "t=20ms switch tor0 down; t=30ms up" -slo-report
 //
 // SIGINT/SIGTERM stop the simulation cleanly: telemetry is flushed and
 // the -metrics/-trace/-series outputs are written for the simulated
@@ -22,8 +23,10 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/obs/dashboard"
@@ -57,6 +60,8 @@ func main() {
 		sloReport   = flag.Bool("slo-report", false, "print the per-tenant SLO conformance and burn-rate report after the run")
 		seriesOut   = flag.String("series", "", "write the dashboard time-series payload (metrics rollup + SLO state) as JSON to this file on exit")
 		windowMs    = flag.Float64("window", 1, "SLO / time-series window in simulated milliseconds")
+		faultSched  = flag.String("fault", "", "fault schedule, e.g. \"t=20ms link 14 down; t=30ms up\" or \"t=20ms switch tor0 down\" (targets: link PORT, switch core|podN|torN, host ID; actions: down, up, gray DUR, flap NxDOWN/UP)")
+		faultDetect = flag.Duration("fault-detect", 500*time.Microsecond, "control-loop detection delay between an injected fault and the placement Recover call (silo scheme only)")
 	)
 	flag.Parse()
 
@@ -181,12 +186,51 @@ func main() {
 
 	horizon := int64(*duration * 1e9)
 	drainEnd := horizon + int64(3e9)
+	windowNs := int64(*windowMs * 1e6)
+
+	// Fault injection: parse and validate the -fault schedule, and (on
+	// the silo scheme, whose placer is the full Manager) close the
+	// control loop: every down event triggers Recover after the
+	// -fault-detect delay, evacuating and re-admitting affected tenants;
+	// every up event returns the repaired servers to the placement pool.
+	// Recovery here is control-plane only — pacer VMs and transport
+	// endpoints are not re-deployed (see experiments.RunFailureDrill for
+	// the full data-plane drill).
+	var inj *faults.Injector
+	var recoveries []*placement.RecoveryReport
+	if *faultSched != "" {
+		sched, err := faults.ParseSchedule(*faultSched)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		inj = faults.NewInjector(nw)
+		inj.GraceNs = 5 * windowNs
+		if mgr, ok := placer.(*placement.Manager); ok {
+			detectNs := faultDetect.Nanoseconds()
+			inj.OnEvent = func(ev faults.Event) {
+				nw.Sim.After(detectNs, func() {
+					if ev.Kind.IsDown() {
+						rep := mgr.Recover(ev.Servers, ev.Ports, placement.RecoverOptions{})
+						if len(rep.Affected) > 0 {
+							recoveries = append(recoveries, rep)
+						}
+					} else {
+						mgr.RestoreServers(ev.Servers...)
+					}
+				})
+			}
+		}
+		if err := inj.Apply(sched); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 
 	// Continuous telemetry: every -window of simulated time, snapshot
 	// the registry into the time-series rollup and advance the SLO
 	// burn-rate engine, with the live port-window tracker naming the
 	// culprit port of each violating window.
-	windowNs := int64(*windowMs * 1e6)
 	var rollup *timeseries.Rollup
 	var engine *slo.Engine
 	if reg != nil {
@@ -198,6 +242,12 @@ func main() {
 			engine.Flush(now)
 			tracker.Reset()
 		})
+	}
+	if inj != nil {
+		// Violations in windows overlapping an injected outage are
+		// labeled with the fault and tallied in the report's in-fault
+		// column (nil-safe when -slo-report/-series are off).
+		engine.SetFaultLookup(inj.FaultIn)
 	}
 	dashOpts := dashboard.Options{
 		Title:  "silo-sim " + *schemeName,
@@ -275,8 +325,8 @@ func main() {
 	bound := gA.MessageLatencyBound(float64(msg)) * 1e6
 	fmt.Printf("scheme=%s  tenantA=%d VMs all-to-one (%d B bursts)  tenantB=%d VMs shuffle\n",
 		scheme, *vmsA, msg, *vmsB)
-	fmt.Printf("messages=%d completed=%d withRTO=%d drops=%d voids=%d\n",
-		msgs, lat.Len(), rtos, nw.TotalDrops(), nw.TotalVoidsDropped())
+	fmt.Printf("messages=%d completed=%d withRTO=%d drops=%d faultDrops=%d voids=%d\n",
+		msgs, lat.Len(), rtos, nw.TotalDrops(), nw.TotalFaultDrops(), nw.TotalVoidsDropped())
 	fmt.Printf("latency (µs): %s\n", lat.Summary("µs"))
 	fmt.Printf("Silo-style guarantee for this message: %.0f µs\n", bound)
 	if scheme == experiments.SchemeSilo {
@@ -287,6 +337,22 @@ func main() {
 		}
 	}
 	fmt.Println(audit.Summary())
+	if inj != nil {
+		fmt.Println("fault injection:")
+		for _, ev := range inj.Events() {
+			fmt.Printf("  %s\n", ev)
+		}
+		for _, rep := range recoveries {
+			fmt.Print(rep.Render())
+		}
+		if mgr, ok := placer.(*placement.Manager); ok {
+			if err := mgr.VerifyInvariants(); err != nil {
+				fmt.Printf("placement invariants after recovery: FAILED: %v\n", err)
+			} else {
+				fmt.Println("placement invariants after recovery: ok")
+			}
+		}
+	}
 	if flight != nil {
 		ports := nw.PortMeta()
 		spans := obs.AssembleFlight(flight.Events(), ports)

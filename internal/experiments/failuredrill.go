@@ -1,0 +1,442 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/faults"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/obs/slo"
+	"repro/internal/placement"
+	"repro/internal/stats"
+	"repro/internal/tenant"
+	"repro/internal/topology"
+	"repro/internal/transport"
+)
+
+// FailureDrillParams configures the end-to-end failure drill: admitted
+// tenants under steady paced load, a ToR switch killed mid-run, the
+// control loop detecting the fault, evacuating and re-admitting every
+// affected tenant through normal admission control, and unpaced resync
+// storms (state re-replication toward the relocated VMs) congesting the
+// surviving fabric — the one window where even Silo traffic can arrive
+// late, which the SLO engine must attribute to the injected fault
+// rather than blame on steady-state pacing.
+type FailureDrillParams struct {
+	// Tenants offered for admission, VMsPerTenant each (FaultDomains 2).
+	Tenants      int
+	VMsPerTenant int
+	// Guarantee per VM. DelayBound is chosen so only rack-scope
+	// placements are delay-feasible: relocation must find a whole rack
+	// or walk the degradation ladder.
+	BandwidthBps float64
+	BurstBytes   float64
+	DelayBound   float64
+	// Steady workload: every IntervalNs each non-aggregator VM sends a
+	// MsgBytes message to the tenant's VM 0.
+	MsgBytes   int
+	IntervalNs int64
+	// Seed staggers the per-tenant pump phases.
+	Seed uint64
+	// FailSwitch is the switch killed at FaultAtNs and repaired
+	// RepairNs later ("tor0", "pod1", "core").
+	FailSwitch string
+	FaultAtNs  int64
+	RepairNs   int64
+	// DetectNs is the control loop's detection delay: the gap between
+	// the fault event and the Recover call.
+	DetectNs int64
+	// ResyncBytes is sent raw (unpaced, back-to-back) from each of
+	// ResyncSources surviving out-of-rack hosts to every relocated VM —
+	// the bulk state transfer that rebuilds the VM, deliberately not
+	// protected by the pacer.
+	ResyncBytes   int
+	ResyncSources int
+	// SLO engine flush period and the injector's outage grace window.
+	WindowNs  int64
+	GraceNs   int64
+	HorizonNs int64
+}
+
+// DefaultFailureDrillParams sizes the drill on a 2-pod/4-rack fabric:
+// the delay bound admits rack-scope placements only (intra-rack path
+// capacity 300µs < d < 1.3ms cross-rack), and the resync storm's
+// fan-in over the 2:1-oversubscribed uplinks queues well past d.
+func DefaultFailureDrillParams() FailureDrillParams {
+	return FailureDrillParams{
+		Tenants:       6,
+		VMsPerTenant:  4,
+		BandwidthBps:  500 * mbps,
+		BurstBytes:    15e3,
+		DelayBound:    350e-6,
+		MsgBytes:      20e3,
+		IntervalNs:    2e6,
+		Seed:          42,
+		FailSwitch:    "tor0",
+		FaultAtNs:     20e6,
+		RepairNs:      10e6,
+		DetectNs:      500e3,
+		ResyncBytes:   60e3,
+		ResyncSources: 3,
+		WindowNs:      1e6,
+		GraceNs:       5e6,
+		HorizonNs:     60e6,
+	}
+}
+
+// DrillTenantRow is one tenant's end-of-drill outcome.
+type DrillTenantRow struct {
+	ID      int
+	Verdict string // "ok" for tenants the fault never touched
+	Degrade string // ladder rung, "-" unless degraded
+	// RecoveryNs is fault-to-first-completed-message on the new
+	// placement (-1 when not applicable: unaffected or evicted).
+	RecoveryNs int64
+	// Messages completed over the whole run.
+	Messages int
+	// SLO accounting: delivered/violated packets, and the violations
+	// that landed in windows overlapping the injected outage.
+	Delivered     int64
+	Violated      int64
+	InFault       int64
+	Conformance   float64
+	NewDelayBound float64 // audited bound after recovery (s; 0 = none)
+}
+
+// FailureDrillResult is the drill's full outcome.
+type FailureDrillResult struct {
+	Params   FailureDrillParams
+	Admitted int
+	Events   []faults.Event
+	Recovery *placement.RecoveryReport
+	Rows     []DrillTenantRow // sorted by tenant ID
+	SLO      []slo.TenantReport
+	// SLOEvents is the engine's event log; outage-window violations
+	// carry the injected fault's label in Event.Fault.
+	SLOEvents []slo.Event
+	// Loss accounting: congestion loss vs outage loss, kept separate.
+	OverflowDrops int64
+	FaultDrops    int64
+	// InvariantsErr is the post-recovery VerifyInvariants failure, ""
+	// when the manager's port state checked out.
+	InvariantsErr string
+	// SLOReport is the engine's rendered per-tenant table.
+	SLOReport string
+}
+
+// Render formats the drill summary. Deterministic: all content derives
+// from the simulation clock and sorted tenant IDs, never the wall
+// clock, so identical params produce byte-identical output.
+func (r *FailureDrillResult) Render() string {
+	p := r.Params
+	var b strings.Builder
+	fmt.Fprintf(&b, "failure drill: %s down @%.1fms (detect %.2fms, repair @%.1fms), horizon %.0fms\n",
+		p.FailSwitch, float64(p.FaultAtNs)/1e6, float64(p.DetectNs)/1e6,
+		float64(p.FaultAtNs+p.RepairNs)/1e6, float64(p.HorizonNs)/1e6)
+	fmt.Fprintf(&b, "tenants: %d offered, %d admitted\n", p.Tenants, r.Admitted)
+	b.WriteString("fault events:\n")
+	for _, ev := range r.Events {
+		fmt.Fprintf(&b, "  %s\n", ev)
+	}
+	if r.Recovery != nil {
+		b.WriteString(r.Recovery.Render())
+	}
+	b.WriteString("per-tenant outcome:\n")
+	fmt.Fprintf(&b, "  %-7s %-10s %-8s %12s %6s %10s %9s %9s %9s\n",
+		"tenant", "verdict", "degrade", "recovery(ms)", "msgs", "delivered", "violated", "in-fault", "conform")
+	for _, row := range r.Rows {
+		rec := "-"
+		if row.RecoveryNs >= 0 {
+			rec = fmt.Sprintf("%.2f", float64(row.RecoveryNs)/1e6)
+		}
+		fmt.Fprintf(&b, "  %-7d %-10s %-8s %12s %6d %10d %9d %9d %8.3f%%\n",
+			row.ID, row.Verdict, row.Degrade, rec, row.Messages,
+			row.Delivered, row.Violated, row.InFault, 100*row.Conformance)
+	}
+	b.WriteString(r.SLOReport)
+	fmt.Fprintf(&b, "drops: overflow=%d fault=%d\n", r.OverflowDrops, r.FaultDrops)
+	if r.InvariantsErr == "" {
+		b.WriteString("invariants: ok\n")
+	} else {
+		fmt.Fprintf(&b, "invariants: FAILED: %s\n", r.InvariantsErr)
+	}
+	return b.String()
+}
+
+// drillTenant is the drill's live per-tenant state.
+type drillTenant struct {
+	spec tenant.Spec
+	dep  *Deployment
+	// epoch invalidates the previous placement's pump when the tenant
+	// is re-deployed after recovery.
+	epoch       int
+	verdict     string
+	degrade     string
+	recoveredAt int64 // sim time of first completed post-recovery message, -1 until then
+	messages    int
+}
+
+// RunFailureDrill builds the fabric, admits and deploys the tenants,
+// runs the steady workload, kills the configured switch mid-run, and
+// drives the full recovery loop: detect → Recover (evacuate +
+// re-admit) → re-deploy on the new placement → unpaced resync storm →
+// steady workload resumes. Returns the recovery-latency and
+// guarantee-violation table.
+func RunFailureDrill(p FailureDrillParams) (*FailureDrillResult, error) {
+	tree, err := topology.New(topology.Config{
+		Pods:           2,
+		RacksPerPod:    2,
+		ServersPerRack: 4,
+		SlotsPerServer: 4,
+		LinkBps:        10 * gbps,
+		BufferBytes:    312e3,
+		NICBufferBytes: 62.5e3,
+		RackOversub:    2,
+		PodOversub:     2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	nw := netsim.Build(netsim.NewSim(), tree, netsim.Options{PropNs: 200})
+	f := transport.NewFabric(nw)
+	mgr := placement.NewManager(tree, placement.Options{})
+	auditor := obs.NewGuaranteeAuditor(nil)
+
+	// tenantOf maps live VM ids (old and new epochs) to tenant ids for
+	// the NIC-to-NIC delay audit.
+	tenantOf := map[int]int{}
+	nw.AttachDelayAudit(auditor, func(vmID int) (int, bool) {
+		id, ok := tenantOf[vmID]
+		return id, ok
+	})
+
+	engine := slo.New(slo.Config{WindowNs: p.WindowNs}, auditor, nil)
+	inj := faults.NewInjector(nw)
+	inj.GraceNs = p.GraceNs
+	engine.SetFaultLookup(inj.FaultIn)
+
+	res := &FailureDrillResult{Params: p}
+	rng := stats.NewRand(p.Seed)
+
+	// Admit and deploy.
+	g := tenant.Guarantee{
+		BandwidthBps: p.BandwidthBps,
+		BurstBytes:   p.BurstBytes,
+		DelayBound:   p.DelayBound,
+		BurstRateBps: 10 * gbps,
+	}
+	var ids []int
+	tenants := map[int]*drillTenant{}
+	vmBase := 1000
+	for i := 0; i < p.Tenants; i++ {
+		spec := tenant.Spec{
+			ID:           i + 1,
+			Name:         fmt.Sprintf("drill-%d", i+1),
+			VMs:          p.VMsPerTenant,
+			Guarantee:    g,
+			FaultDomains: 2,
+		}
+		pl, err := mgr.Place(spec)
+		if err != nil {
+			continue
+		}
+		res.Admitted++
+		st := &drillTenant{spec: spec, verdict: "ok", degrade: "-", recoveredAt: -1}
+		st.dep = deployDrill(nw, f, auditor, spec, pl, vmBase, tenantOf)
+		vmBase += spec.VMs + 4
+		tenants[spec.ID] = st
+		ids = append(ids, spec.ID)
+	}
+
+	// Steady workload: phase-staggered all-to-one message pumps.
+	var startPump func(st *drillTenant, phaseNs int64, onDone func())
+	startPump = func(st *drillTenant, phaseNs int64, onDone func()) {
+		epoch := st.epoch
+		dep := st.dep
+		var tick func()
+		tick = func() {
+			if st.epoch != epoch {
+				return // placement superseded by recovery
+			}
+			for i := 1; i < len(dep.Endpoints); i++ {
+				dep.Endpoints[i].SendMessage(dep.VMIDs[0], p.MsgBytes, func(*transport.Message) {
+					st.messages++
+					if onDone != nil {
+						onDone()
+						onDone = nil
+					}
+				})
+			}
+			nw.Sim.After(p.IntervalNs, tick)
+		}
+		nw.Sim.After(phaseNs, tick)
+	}
+	for _, id := range ids {
+		startPump(tenants[id], int64(rng.Intn(int(p.IntervalNs))), nil)
+	}
+
+	// SLO windows close on the simulation clock.
+	nw.Sim.Every(p.WindowNs, p.HorizonNs, func(nowNs int64) { engine.Flush(nowNs) })
+
+	// Control loop: the first down event, DetectNs later, triggers
+	// evacuation + re-admission, re-deployment on the new placement,
+	// and the resync storm toward every relocated VM.
+	recovered := false
+	resyncWave := 0
+	inj.OnEvent = func(ev faults.Event) {
+		if !ev.Kind.IsDown() || recovered {
+			return
+		}
+		recovered = true
+		servers, ports := ev.Servers, ev.Ports
+		nw.Sim.After(p.DetectNs, func() {
+			rep := mgr.Recover(servers, ports, placement.RecoverOptions{})
+			res.Recovery = rep
+			for _, tr := range rep.Affected {
+				st := tenants[tr.ID]
+				st.epoch++ // stop the old placement's pump
+				st.verdict = tr.Verdict.String()
+				if tr.Degradation != "" {
+					st.degrade = tr.Degradation
+				}
+				if tr.Verdict == placement.VerdictEvicted {
+					continue
+				}
+				spec := st.spec
+				spec.Guarantee = tr.NewGuarantee
+				pl := &tenant.Placement{Spec: spec, Servers: tr.NewServers}
+				st.dep = deployDrill(nw, f, auditor, spec, pl, vmBase, tenantOf)
+				vmBase += spec.VMs + 4
+				// Degraded tenants are judged against the loosened bound
+				// from here on; a dropped bound clears the delay SLO.
+				auditor.SetDelayBound(tr.ID, spec.Guarantee.DelayBound)
+				// Recovery latency: fault to first completed message on
+				// the new placement.
+				startPump(st, 0, func() {
+					if st.recoveredAt < 0 {
+						st.recoveredAt = nw.Sim.Now()
+					}
+				})
+				// Resync storm: bulk state transfer into each new VM from
+				// surviving out-of-rack hosts, raw and unpaced — it is
+				// infrastructure traffic, not tenant hose traffic.
+				for i, vmID := range st.dep.VMIDs {
+					dstHost := pl.Servers[i]
+					vmID := vmID
+					nw.Sim.After(int64(resyncWave)*60_000, func() {
+						fireResync(nw, tree, mgr, dstHost, vmID, p.ResyncBytes, p.ResyncSources)
+					})
+					resyncWave++
+				}
+			}
+		})
+	}
+
+	nw.Sim.At(p.FaultAtNs, func() {
+		if err := inj.FailSwitch(p.FailSwitch); err != nil {
+			panic(err) // validated below before Run
+		}
+	})
+	nw.Sim.At(p.FaultAtNs+p.RepairNs, func() {
+		if err := inj.RestoreSwitch(p.FailSwitch); err != nil {
+			panic(err)
+		}
+		// Repair returns the servers to the placement pool; evacuated
+		// tenants stay where recovery put them.
+		var rec *placement.RecoveryReport
+		if rec = res.Recovery; rec != nil {
+			mgr.RestoreServers(rec.FailedServers...)
+		}
+	})
+	// Validate the switch name before running so a bad param is an
+	// error, not a mid-simulation panic.
+	if _, err := inj.SwitchPorts(p.FailSwitch); err != nil {
+		return nil, err
+	}
+
+	nw.Sim.Run(p.HorizonNs)
+
+	// Harvest.
+	res.Events = inj.Events()
+	res.OverflowDrops = nw.TotalDrops()
+	res.FaultDrops = nw.TotalFaultDrops()
+	if err := mgr.VerifyInvariants(); err != nil {
+		res.InvariantsErr = err.Error()
+	}
+	res.SLO = engine.Reports()
+	res.SLOEvents = engine.Events()
+	res.SLOReport = engine.RenderReport()
+	sloByID := map[int]slo.TenantReport{}
+	for _, r := range res.SLO {
+		sloByID[r.ID] = r
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		st := tenants[id]
+		row := DrillTenantRow{
+			ID:          id,
+			Verdict:     st.verdict,
+			Degrade:     st.degrade,
+			RecoveryNs:  -1,
+			Messages:    st.messages,
+			Conformance: 1,
+		}
+		if st.recoveredAt >= 0 {
+			row.RecoveryNs = st.recoveredAt - p.FaultAtNs
+		}
+		if ta, ok := auditor.Tenant(id); ok {
+			row.NewDelayBound = float64(ta.DelayBoundNs) / 1e9
+		}
+		if sr, ok := sloByID[id]; ok {
+			row.Delivered = sr.Delivered
+			row.Violated = sr.Violated
+			row.InFault = sr.ViolatedDuringFault
+			row.Conformance = sr.Conformance
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// deployDrill instantiates a placement (pacer VMs, transport endpoints,
+// hose coordination, delay audit) and registers its VM ids.
+func deployDrill(nw *netsim.Network, f *transport.Fabric, auditor *obs.GuaranteeAuditor,
+	spec tenant.Spec, pl *tenant.Placement, vmBase int, tenantOf map[int]int) *Deployment {
+	dep := DeployTenant(nw, f, SchemeSilo, spec, pl, vmBase)
+	pat := make([][]int, spec.VMs)
+	for s := 1; s < spec.VMs; s++ {
+		pat[s] = []int{0}
+	}
+	CoordinateHose(nw, dep, pat, HoseFairShare)
+	dep.EnableTelemetry(nw, nil, auditor, nil)
+	for _, vm := range dep.VMIDs {
+		tenantOf[vm] = spec.ID
+	}
+	return dep
+}
+
+// fireResync sends bytes of raw back-to-back 1500B frames to (dstHost,
+// dstVM) from the n lowest-numbered surviving hosts outside the
+// destination's rack. Unpaced by design: the convergent storm queues at
+// the oversubscribed uplinks, and the deliveries that arrive past the
+// tenant's bound are exactly the violations the SLO engine must pin on
+// the outage.
+func fireResync(nw *netsim.Network, tree *topology.Tree, mgr *placement.Manager,
+	dstHost, dstVM, bytes, n int) {
+	dstRack := tree.RackOfServer(dstHost)
+	picked := 0
+	for s := 0; s < tree.Servers() && picked < n; s++ {
+		if s == dstHost || mgr.ServerFailed(s) || tree.RackOfServer(s) == dstRack {
+			continue
+		}
+		src := nw.Hosts[s]
+		for sent := 0; sent < bytes; sent += 1500 {
+			src.Send(&netsim.Packet{
+				Src: s, Dst: dstHost, SrcVM: -1, DstVM: dstVM, Size: 1500,
+			})
+		}
+		picked++
+	}
+}

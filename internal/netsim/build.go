@@ -36,7 +36,20 @@ type Network struct {
 	Queues []*Queue
 
 	switches []*Switch
+	core     *Switch
+	podSw    []*Switch
+	torSw    []*Switch
 }
+
+// TorSwitch returns rack r's ToR switch (for fault injection and
+// inspection).
+func (nw *Network) TorSwitch(r int) *Switch { return nw.torSw[r] }
+
+// PodSwitch returns pod p's aggregation switch.
+func (nw *Network) PodSwitch(p int) *Switch { return nw.podSw[p] }
+
+// CoreSwitch returns the aggregated core switch.
+func (nw *Network) CoreSwitch() *Switch { return nw.core }
 
 // Build instantiates the tree topology as a packet-level network.
 func Build(sim *Sim, tree *topology.Tree, opts Options) *Network {
@@ -66,6 +79,7 @@ func Build(sim *Sim, tree *topology.Tree, opts Options) *Network {
 
 	// Core switch: one aggregated multi-root.
 	core := &Switch{Name: "core"}
+	nw.core = core
 	nw.switches = append(nw.switches, core)
 	coreDown := make([]*Queue, tree.Pods())
 
@@ -77,6 +91,7 @@ func Build(sim *Sim, tree *topology.Tree, opts Options) *Network {
 		podSw[p] = &Switch{Name: fmt.Sprintf("pod%d", p)}
 		nw.switches = append(nw.switches, podSw[p])
 	}
+	nw.podSw = podSw
 
 	// ToR switches.
 	torSw := make([]*Switch, tree.Racks())
@@ -86,6 +101,7 @@ func Build(sim *Sim, tree *topology.Tree, opts Options) *Network {
 		torSw[r] = &Switch{Name: fmt.Sprintf("tor%d", r)}
 		nw.switches = append(nw.switches, torSw[r])
 	}
+	nw.torSw = torSw
 
 	// Queues, wired bottom-up.
 	for s := 0; s < tree.Servers(); s++ {
@@ -164,6 +180,27 @@ func (nw *Network) TotalDrops() int64 {
 			continue
 		}
 		n += q.Stats.DroppedPkts
+	}
+	return n
+}
+
+// TotalFaultDrops sums failure-caused packet losses fabric-wide: every
+// port (NICs included — a failed host loses its egress queue), every
+// switch transit drop, and every down-host ingress drop. Disjoint from
+// TotalDrops, which counts congestion (buffer-overflow) loss only.
+func (nw *Network) TotalFaultDrops() int64 {
+	var n int64
+	for _, q := range nw.Queues {
+		if q == nil {
+			continue
+		}
+		n += q.Stats.FaultDroppedPkts
+	}
+	for _, sw := range nw.switches {
+		n += sw.Stats.FaultDroppedPkts
+	}
+	for _, h := range nw.Hosts {
+		n += h.FaultDropped
 	}
 	return n
 }

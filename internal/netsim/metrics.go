@@ -13,12 +13,14 @@ import (
 // Per directed port (label port="<name>"):
 //
 //	silo_netsim_queue_hwm_bytes   worst occupancy seen (incl. arrival)
-//	silo_netsim_dropped_pkts      packets dropped at the port
+//	silo_netsim_dropped_pkts      overflow drops at the port
+//	silo_netsim_fault_dropped_pkts  failure losses at the port
 //	silo_netsim_sent_bytes        bytes serialized
 //
 // Fabric-wide:
 //
-//	silo_netsim_drops_total       drops across all switch ports
+//	silo_netsim_drops_total       overflow drops across switch ports
+//	silo_netsim_fault_drops_total failure losses (ports+switches+hosts)
 //	silo_netsim_voids_dropped_total  void frames absorbed at first hop
 //	silo_netsim_goodput_bytes     non-void bytes delivered to hosts
 func (nw *Network) RegisterMetrics(reg *obs.Registry) {
@@ -35,8 +37,12 @@ func (nw *Network) RegisterMetrics(reg *obs.Registry) {
 			func() float64 { return float64(q.Stats.HighWaterBytes) },
 			"port", q.Name)
 		reg.GaugeFunc("silo_netsim_dropped_pkts",
-			"packets dropped at the port",
+			"packets dropped at the port (buffer overflow only)",
 			func() float64 { return float64(q.Stats.DroppedPkts) },
+			"port", q.Name)
+		reg.GaugeFunc("silo_netsim_fault_dropped_pkts",
+			"packets lost at the port to injected failures",
+			func() float64 { return float64(q.Stats.FaultDroppedPkts) },
 			"port", q.Name)
 		reg.GaugeFunc("silo_netsim_sent_bytes",
 			"bytes serialized by the port",
@@ -44,8 +50,11 @@ func (nw *Network) RegisterMetrics(reg *obs.Registry) {
 			"port", q.Name)
 	}
 	reg.GaugeFunc("silo_netsim_drops_total",
-		"packet drops across all switch ports",
+		"packet drops across all switch ports (buffer overflow only)",
 		func() float64 { return float64(nw.TotalDrops()) })
+	reg.GaugeFunc("silo_netsim_fault_drops_total",
+		"failure-caused packet losses fabric-wide (ports, switches, hosts)",
+		func() float64 { return float64(nw.TotalFaultDrops()) })
 	reg.GaugeFunc("silo_netsim_voids_dropped_total",
 		"void frames absorbed by first-hop switches",
 		func() float64 { return float64(nw.TotalVoidsDropped()) })

@@ -13,10 +13,19 @@ type Switch struct {
 	Route func(dstHost int) *Queue
 	// Stats counts void drops at this switch.
 	Stats Counters
+
+	down bool
 }
 
 // Receive implements Receiver.
 func (sw *Switch) Receive(p *Packet) {
+	if sw.down {
+		// A dead switch loses everything in transit through it, voids
+		// included; the loss is metered, not silent.
+		sw.Stats.FaultDroppedPkts++
+		sw.Stats.FaultDroppedBytes += int64(p.Size)
+		return
+	}
 	if p.Void {
 		sw.Stats.VoidDropped++
 		return
@@ -27,6 +36,17 @@ func (sw *Switch) Receive(p *Packet) {
 	}
 	q.Enqueue(p)
 }
+
+// Fail marks the switch dead: transit packets are fault-dropped. The
+// fault injector pairs this with failing the switch's attached ports
+// so buffered and in-flight traffic is lost too.
+func (sw *Switch) Fail() { sw.down = true }
+
+// Restore brings the switch back.
+func (sw *Switch) Restore() { sw.down = false }
+
+// IsDown reports whether the switch is failed.
+func (sw *Switch) IsDown() bool { return sw.down }
 
 // Host is a server endpoint. Egress goes either directly to the NIC
 // queue (baseline transports) or through a Silo host pacer that
@@ -54,7 +74,12 @@ type Host struct {
 	// this paced?" heuristic (a release stamp of 0 is legitimate).
 	OnPacedWire func(p *Packet)
 
+	// FaultDropped counts packets this host lost to its own failure
+	// (arrivals while down, sends attempted while down).
+	FaultDropped int64
+
 	// Pacing state (nil for unpaced hosts).
+	down        bool
 	pacer       *pacer.HostPacer
 	vms         map[int]*pacer.VM
 	loopRunning bool
@@ -74,6 +99,10 @@ func NewHost(sim *Sim, id int) *Host {
 
 // Receive implements Receiver (ingress from the ToR).
 func (h *Host) Receive(p *Packet) {
+	if h.down {
+		h.FaultDropped++
+		return
+	}
 	if p.Void {
 		// Voids should have been dropped upstream; tolerate anyway.
 		return
@@ -88,9 +117,35 @@ func (h *Host) Receive(p *Packet) {
 
 // Send transmits a packet directly through the NIC (no pacing).
 func (h *Host) Send(p *Packet) {
+	if h.down {
+		h.FaultDropped++
+		return
+	}
 	p.SentAt = h.sim.Now()
 	h.NIC.Enqueue(p)
 }
+
+// Fail takes the host down: its NIC port fails (draining-and-dropping
+// queued egress), resident VMs stop emitting (SendPaced/Send drop),
+// and ingress is fault-dropped. The pacer's batch loop may still fire
+// scheduled wire events; they die at the failed NIC.
+func (h *Host) Fail() {
+	h.down = true
+	if h.NIC != nil {
+		h.NIC.Fail()
+	}
+}
+
+// Restore brings the host (and its NIC) back into service.
+func (h *Host) Restore() {
+	h.down = false
+	if h.NIC != nil {
+		h.NIC.Restore()
+	}
+}
+
+// IsDown reports whether the host is failed.
+func (h *Host) IsDown() bool { return h.down }
 
 // EnablePacing installs a Silo host pacer on the NIC.
 func (h *Host) EnablePacing(batcher *pacer.Batcher) {
@@ -120,6 +175,10 @@ func (h *Host) VM(id int) (*pacer.VM, bool) {
 // SendPaced submits a packet to the VM's token-bucket chain; the
 // batch loop lays it on the wire at its release stamp.
 func (h *Host) SendPaced(vmID int, p *Packet) {
+	if h.down {
+		h.FaultDropped++
+		return
+	}
 	vm, ok := h.vms[vmID]
 	if !ok || h.pacer == nil {
 		h.Send(p)

@@ -43,10 +43,17 @@ type Counters struct {
 	EnqueuedPkts int64
 	SentPkts     int64
 	SentBytes    int64
-	DroppedPkts  int64
-	DroppedBytes int64
-	ECNMarked    int64
-	VoidDropped  int64
+	// DroppedPkts/DroppedBytes count capacity-overflow drops only
+	// (buffer full). Drops caused by a failed element — forced drain,
+	// down-port arrivals, in-flight packets on a link that died — are
+	// counted separately in FaultDroppedPkts/FaultDroppedBytes so
+	// congestion loss and outage loss stay attributable.
+	DroppedPkts       int64
+	DroppedBytes      int64
+	FaultDroppedPkts  int64
+	FaultDroppedBytes int64
+	ECNMarked         int64
+	VoidDropped       int64
 	// HighWaterBytes is the worst queue occupancy observed, including
 	// the arriving packet (the sim is single-threaded, so a plain max
 	// suffices).

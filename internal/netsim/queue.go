@@ -40,10 +40,24 @@ type Queue struct {
 	// with OnEnqueue it brackets a packet's queueing delay at the port
 	// to the nanosecond; the flight recorder chains into both.
 	OnTransmit func(p *Packet, serNs int64)
+	// OnFault, if set, observes every packet the port drops because of
+	// a failure (forced drain on Fail, arrival at a down or lossy port,
+	// in-flight loss when the link dies mid-serialization or
+	// mid-propagation). Chain like OnEnqueue/OnTransmit: preserve the
+	// previous hook and call it first.
+	OnFault func(p *Packet)
 
 	fifos    [numPrios][]*Packet
 	occupied int
 	busy     bool
+	// down marks a failed port: arrivals are fault-dropped, nothing
+	// serializes. lossy is the gray-failure mode: arrivals are
+	// fault-dropped but already-buffered traffic keeps draining.
+	// failGen invalidates in-flight serialization/propagation closures
+	// scheduled before the most recent Fail.
+	down    bool
+	lossy   bool
+	failGen uint64
 }
 
 // NewQueue returns a port attached to sim.
@@ -63,6 +77,10 @@ func (q *Queue) QueueDelayNs() int64 {
 // Enqueue admits a packet to the port.
 func (q *Queue) Enqueue(p *Packet) {
 	q.Stats.EnqueuedPkts++
+	if q.down || q.lossy {
+		q.faultDrop(p)
+		return
+	}
 	if q.OnEnqueue != nil {
 		q.OnEnqueue(p, q.occupied)
 	}
@@ -97,6 +115,10 @@ func (q *Queue) Enqueue(p *Packet) {
 // transmitNext starts serializing the head-of-line packet of the
 // highest non-empty priority.
 func (q *Queue) transmitNext() {
+	if q.down {
+		q.busy = false
+		return
+	}
 	var p *Packet
 	for prio := 0; prio < numPrios; prio++ {
 		if len(q.fifos[prio]) > 0 {
@@ -114,16 +136,91 @@ func (q *Queue) transmitNext() {
 	if q.OnTransmit != nil {
 		q.OnTransmit(p, serNs)
 	}
+	gen := q.failGen
 	q.sim.After(serNs, func() {
 		q.occupied -= p.Size
+		if q.failGen != gen {
+			// The port failed mid-serialization; the frame is lost on
+			// the wire. Fail leaves the serializing head's bytes in
+			// occupied — the subtract above settles them here.
+			q.faultDrop(p)
+			q.transmitNext()
+			return
+		}
 		q.Stats.SentPkts++
 		q.Stats.SentBytes += int64(p.Size)
 		next := q.Next
 		prop := q.PropNs
-		q.sim.After(prop, func() { next.Receive(p) })
+		q.sim.After(prop, func() {
+			if q.failGen != gen {
+				// Link died while the frame was propagating.
+				q.faultDrop(p)
+				return
+			}
+			next.Receive(p)
+		})
 		q.transmitNext()
 	})
 }
+
+// faultDrop meters a failure-caused loss and runs the OnFault tap.
+func (q *Queue) faultDrop(p *Packet) {
+	q.Stats.FaultDroppedPkts++
+	q.Stats.FaultDroppedBytes += int64(p.Size)
+	if q.OnFault != nil {
+		q.OnFault(p)
+	}
+}
+
+// Fail takes the port down: buffered packets are drained-and-dropped
+// immediately, the packet currently serializing (and anything already
+// propagating on the link) is dropped at its scheduled completion
+// instead of delivered, and subsequent arrivals are fault-dropped
+// until Restore. All failure losses land in Stats.FaultDroppedPkts /
+// FaultDroppedBytes, never in the congestion-drop counters. Idempotent
+// while down.
+func (q *Queue) Fail() {
+	if q.down {
+		return
+	}
+	q.down = true
+	q.failGen++
+	for prio := range q.fifos {
+		for _, p := range q.fifos[prio] {
+			q.occupied -= p.Size
+			q.faultDrop(p)
+		}
+		q.fifos[prio] = nil
+	}
+	// The serializing head-of-line packet (if any) still owns its
+	// occupied bytes; its completion closure observes the generation
+	// bump, subtracts them, and fault-drops the packet.
+}
+
+// SetLossy toggles gray failure: the port stays nominally up (buffered
+// traffic drains, the drain loop runs) but every new arrival is
+// fault-dropped. Models a flaky transceiver rather than a cut fiber.
+func (q *Queue) SetLossy(on bool) {
+	q.lossy = on
+}
+
+// Restore brings a failed (or lossy) port back into service. The
+// buffer restarts empty; traffic enqueued after Restore flows
+// normally.
+func (q *Queue) Restore() {
+	wasDown := q.down
+	q.down = false
+	q.lossy = false
+	if wasDown && !q.busy {
+		q.transmitNext()
+	}
+}
+
+// Down reports whether the port is failed.
+func (q *Queue) Down() bool { return q.down }
+
+// Lossy reports whether the port is in gray-failure mode.
+func (q *Queue) Lossy() bool { return q.lossy }
 
 // PhantomQueue is HULL's virtual queue: it counts bytes as if drained
 // at gamma × line rate and requests marking when the virtual backlog

@@ -123,6 +123,37 @@ func (a *GuaranteeAuditor) Admit(id int, bandwidthBps, burstBytes, delayBoundSec
 	return t
 }
 
+// SetDelayBound updates an admitted tenant's audited bound d (in
+// seconds; <= 0 clears it). Failure recovery uses it when a tenant is
+// re-admitted degraded: packets delivered after the update are judged
+// against the loosened bound. Copy-on-write like Admit, so concurrent
+// ObserveDelay calls see either the old bound or the new one, never a
+// torn state. Unknown tenants are ignored.
+func (a *GuaranteeAuditor) SetDelayBound(id int, delayBoundSec float64) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cur := a.tenants.Load().(map[int]*TenantAudit)
+	t, ok := cur[id]
+	if !ok {
+		return
+	}
+	var boundNs int64
+	if delayBoundSec > 0 {
+		boundNs = int64(delayBoundSec * 1e9)
+	}
+	nt := *t // metric handles are pointers, shared with the old state
+	nt.DelayBoundNs = boundNs
+	next := make(map[int]*TenantAudit, len(cur))
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[id] = &nt
+	a.tenants.Store(next)
+}
+
 // Tenant returns the audit state for a tenant, if admitted.
 func (a *GuaranteeAuditor) Tenant(id int) (*TenantAudit, bool) {
 	if a == nil {

@@ -48,6 +48,13 @@ type Attributor interface {
 	WorstPort(sinceNs, untilNs int64) (port int32, queueNs int64, ok bool)
 }
 
+// FaultLookup reports whether an injected-fault outage window overlaps
+// [sinceNs, untilNs), returning a label naming the fault event. The
+// fault injector's FaultIn method satisfies it. It runs at most once
+// per Flush and must not allocate (pre-build labels when the fault is
+// recorded, not per query).
+type FaultLookup func(sinceNs, untilNs int64) (label string, ok bool)
+
 // Config parameterizes the SLO engine. Zero values select the
 // defaults noted on each field.
 type Config struct {
@@ -171,6 +178,11 @@ type Event struct {
 	// CulpritQueueNs its queueing contribution.
 	CulpritPort    int32 `json:"culprit_port"`
 	CulpritQueueNs int64 `json:"culprit_queue_ns"`
+	// Fault names the injected fault whose outage window (plus grace)
+	// overlaps this event's window, "" when none — degraded-mode
+	// accounting separates outage-caused violations from steady-state
+	// ones.
+	Fault string `json:"fault,omitempty"`
 }
 
 // Render formats the event for logs; ports (may be nil) resolves the
@@ -183,6 +195,9 @@ func (e Event) Render(ports []obs.PortMeta) string {
 		e.Delivered, e.Violated, e.BurnRate)
 	if e.CulpritPort >= 0 {
 		fmt.Fprintf(&b, " culprit=%s(+%.2fµs queue)", obs.PortName(ports, e.CulpritPort), float64(e.CulpritQueueNs)/1e3)
+	}
+	if e.Fault != "" {
+		fmt.Fprintf(&b, " fault=[%s]", e.Fault)
 	}
 	return b.String()
 }
@@ -201,6 +216,9 @@ type tenantState struct {
 
 	totalDelivered int64
 	totalViolated  int64
+	// violatedDuringFault counts violations in windows overlapping an
+	// injected fault's outage (degraded-mode accounting).
+	violatedDuringFault int64
 
 	burnFast, burnSlow     float64
 	fastActive, slowActive bool
@@ -222,6 +240,7 @@ type Engine struct {
 	cfg     Config
 	auditor *obs.GuaranteeAuditor
 	attr    Attributor
+	faults  FaultLookup
 
 	mu      sync.Mutex
 	tenants []*tenantState // delay-bounded tenants, sorted by ID
@@ -251,6 +270,20 @@ func New(cfg Config, auditor *obs.GuaranteeAuditor, attr Attributor) *Engine {
 
 // Config returns the engine's effective (defaulted) configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// SetFaultLookup wires an injected-fault outage oracle (typically
+// faults.Injector.FaultIn). Violations in windows overlapping an
+// outage are labeled with the fault and tallied separately in the
+// per-tenant report. A nil engine or nil fn is a no-op; the no-fault
+// hot path pays one nil check per Flush.
+func (e *Engine) SetFaultLookup(fn FaultLookup) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.faults = fn
+	e.mu.Unlock()
+}
 
 // refreshTenants picks up newly admitted tenants, preserving existing
 // windowed state. Called under e.mu; allocates only when the admitted
@@ -354,6 +387,12 @@ func (e *Engine) Flush(nowNs int64) {
 	e.starts[slot] = winStart
 	e.ends[slot] = nowNs
 
+	var faultLabel string
+	var inFault bool
+	if e.faults != nil {
+		faultLabel, inFault = e.faults(winStart, nowNs)
+	}
+
 	for _, ts := range e.tenants {
 		pk := ts.t.Packets.Value()
 		vi := ts.t.Violations.Value()
@@ -377,14 +416,21 @@ func (e *Engine) Flush(nowNs int64) {
 		var culpritQ int64
 		attributed := false
 		if dVio > 0 {
+			if inFault {
+				ts.violatedDuringFault += dVio
+			}
 			culprit, culpritQ = e.attribute(winStart, nowNs)
 			attributed = true
-			e.addEvent(Event{
+			ev := Event{
 				TimeNs: nowNs, Kind: EventWindowViolation, Tenant: ts.t.ID,
 				WindowStartNs: winStart, WindowEndNs: nowNs,
 				Delivered: dDel, Violated: dVio, BurnRate: winBurn,
 				CulpritPort: culprit, CulpritQueueNs: culpritQ,
-			})
+			}
+			if inFault {
+				ev.Fault = faultLabel
+			}
+			e.addEvent(ev)
 		}
 
 		fastLong := e.burnOver(ts, e.cfg.FastLongWindows)
@@ -404,6 +450,9 @@ func (e *Engine) Flush(nowNs int64) {
 				WindowStartNs: winStart, WindowEndNs: nowNs,
 				Delivered: dDel, Violated: dVio,
 				CulpritPort: culprit, CulpritQueueNs: culpritQ,
+			}
+			if inFault {
+				base.Fault = faultLabel
 			}
 			if fastNow != ts.fastActive {
 				ev := base
@@ -544,6 +593,10 @@ type TenantReport struct {
 	Windows   int64 `json:"windows"`
 	Delivered int64 `json:"delivered"`
 	Violated  int64 `json:"violated"`
+	// ViolatedDuringFault is the share of Violated landing in windows
+	// that overlapped an injected fault's outage (including its grace
+	// extension): outage damage, as opposed to steady-state breaches.
+	ViolatedDuringFault int64 `json:"violated_during_fault,omitempty"`
 	// Conformance is the overall fraction of deliveries inside d.
 	Conformance float64 `json:"conformance"`
 	// BudgetBurntPct is the error budget consumed, in percent: 100
@@ -577,18 +630,19 @@ func (e *Engine) Reports() []TenantReport {
 			ID: ts.t.ID, BoundNs: ts.t.DelayBoundNs,
 			Windows:   e.flushes,
 			Delivered: ts.totalDelivered, Violated: ts.totalViolated,
-			Conformance:    1,
-			WorstStartNs:   ts.worstStartNs,
-			WorstEndNs:     ts.worstEndNs,
-			WorstBurn:      ts.worstBurn,
-			WorstDelivered: ts.worstDelivered,
-			WorstViolated:  ts.worstViolated,
-			BurnFast:       ts.burnFast,
-			BurnSlow:       ts.burnSlow,
-			FastActive:     ts.fastActive,
-			SlowActive:     ts.slowActive,
-			FastAlerts:     ts.fastAlerts,
-			SlowAlerts:     ts.slowAlerts,
+			ViolatedDuringFault: ts.violatedDuringFault,
+			Conformance:         1,
+			WorstStartNs:        ts.worstStartNs,
+			WorstEndNs:          ts.worstEndNs,
+			WorstBurn:           ts.worstBurn,
+			WorstDelivered:      ts.worstDelivered,
+			WorstViolated:       ts.worstViolated,
+			BurnFast:            ts.burnFast,
+			BurnSlow:            ts.burnSlow,
+			FastActive:          ts.fastActive,
+			SlowActive:          ts.slowActive,
+			FastAlerts:          ts.fastAlerts,
+			SlowAlerts:          ts.slowAlerts,
 		}
 		if ts.totalDelivered > 0 {
 			r.Conformance = 1 - float64(ts.totalViolated)/float64(ts.totalDelivered)
@@ -615,8 +669,8 @@ func (e *Engine) RenderReport() string {
 		b.WriteString("  (no delay-bounded tenants)\n")
 		return b.String()
 	}
-	fmt.Fprintf(&b, "  %-7s %10s %10s %9s %12s %11s %9s %9s %s\n",
-		"tenant", "delivered", "violated", "conform", "budget-burnt", "worst-burn", "fast", "slow", "alerts(f/s)")
+	fmt.Fprintf(&b, "  %-7s %10s %10s %9s %9s %12s %11s %9s %9s %s\n",
+		"tenant", "delivered", "violated", "in-fault", "conform", "budget-burnt", "worst-burn", "fast", "slow", "alerts(f/s)")
 	for _, r := range reports {
 		fast, slow := "ok", "ok"
 		if r.FastActive {
@@ -625,8 +679,8 @@ func (e *Engine) RenderReport() string {
 		if r.SlowActive {
 			slow = "FIRING"
 		}
-		fmt.Fprintf(&b, "  %-7d %10d %10d %8.4f%% %11.1f%% %11.1f %9s %9s %d/%d\n",
-			r.ID, r.Delivered, r.Violated, 100*r.Conformance, r.BudgetBurntPct,
+		fmt.Fprintf(&b, "  %-7d %10d %10d %9d %8.4f%% %11.1f%% %11.1f %9s %9s %d/%d\n",
+			r.ID, r.Delivered, r.Violated, r.ViolatedDuringFault, 100*r.Conformance, r.BudgetBurntPct,
 			r.WorstBurn, fast, slow, r.FastAlerts, r.SlowAlerts)
 	}
 	return b.String()

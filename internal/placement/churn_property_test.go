@@ -59,6 +59,142 @@ func TestRandomChurnInvariantsProperty(t *testing.T) {
 	}
 }
 
+// Property: a place→fail→recover→remove loop preserves the manager's
+// invariants at every recovery, no tenant is ever silently lost (every
+// affected tenant gets a verdict; the relocated/degraded ones stay
+// admitted, the evicted ones are gone), and after full teardown no
+// port contribution leaks.
+func TestFailRecoverChurnProperty(t *testing.T) {
+	f := func(seed uint64, opsRaw uint8) bool {
+		tree := mustSmallTree()
+		m := NewManager(tree, Options{})
+		rng := stats.NewRand(seed)
+		rounds := int(opsRaw)%6 + 2
+		nextID := 1
+		for round := 0; round < rounds; round++ {
+			// Admit a random batch.
+			for i := 0; i < 4+rng.Intn(6); i++ {
+				vms := 1 + rng.Intn(6)
+				fd := 1 + rng.Intn(2)
+				if fd > vms {
+					fd = vms
+				}
+				spec := tenant.Spec{
+					ID:   nextID,
+					Name: "churn",
+					VMs:  vms,
+					Guarantee: tenant.Guarantee{
+						BandwidthBps: float64(1+rng.Intn(10)) * 100 * mbps,
+						BurstBytes:   float64(1+rng.Intn(10)) * 3e3,
+						DelayBound:   float64(rng.Intn(3)) * 1e-3,
+						BurstRateBps: 10 * gbps,
+					},
+					FaultDomains: fd,
+				}
+				nextID++
+				m.Place(spec)
+			}
+			// Fail 1-2 random servers and recover.
+			before := m.AdmittedIDs()
+			nFail := 1 + rng.Intn(2)
+			failed := make([]int, 0, nFail)
+			for len(failed) < nFail {
+				s := rng.Intn(tree.Servers())
+				if !m.ServerFailed(s) {
+					failed = append(failed, s)
+				}
+			}
+			rep := m.Recover(failed, nil, RecoverOptions{})
+			if rep.Relocated+rep.Degraded+rep.Evicted != len(rep.Affected) {
+				t.Logf("verdicts don't cover affected: %+v", rep)
+				return false
+			}
+			// No silent loss: every previously admitted tenant is
+			// either still admitted or explicitly evicted.
+			evicted := map[int]bool{}
+			for _, tr := range rep.Affected {
+				if tr.Verdict == VerdictEvicted {
+					evicted[tr.ID] = true
+				}
+			}
+			after := map[int]bool{}
+			for _, id := range m.AdmittedIDs() {
+				after[id] = true
+			}
+			for _, id := range before {
+				if !after[id] && !evicted[id] {
+					t.Logf("tenant %d vanished without a verdict", id)
+					return false
+				}
+				if after[id] && evicted[id] {
+					t.Logf("tenant %d evicted but still admitted", id)
+					return false
+				}
+			}
+			// No recovered tenant may sit on a failed server.
+			for _, tr := range rep.Affected {
+				for _, s := range tr.NewServers {
+					if m.ServerFailed(s) {
+						t.Logf("tenant %d recovered onto failed server %d", tr.ID, s)
+						return false
+					}
+				}
+			}
+			if err := m.VerifyInvariants(); err != nil {
+				t.Logf("invariants after recovery: %v", err)
+				return false
+			}
+			// Occasionally repair some servers.
+			if rng.Float64() < 0.5 {
+				for _, s := range failed {
+					m.RestoreServers(s)
+				}
+			}
+			// Random removals, including removals while servers are
+			// still failed (slots must park in hidden, not leak).
+			for _, id := range m.AdmittedIDs() {
+				if rng.Float64() < 0.3 {
+					if err := m.Remove(id); err != nil {
+						return false
+					}
+				}
+			}
+			if err := m.VerifyInvariants(); err != nil {
+				t.Logf("invariants after removals: %v", err)
+				return false
+			}
+		}
+		// Full teardown: zero leaked port contributions.
+		for _, id := range m.AdmittedIDs() {
+			if err := m.Remove(id); err != nil {
+				return false
+			}
+		}
+		for s := 0; s < tree.Servers(); s++ {
+			m.RestoreServers(s)
+		}
+		if err := m.VerifyInvariants(); err != nil {
+			t.Logf("invariants after teardown: %v", err)
+			return false
+		}
+		for pid := range m.ports {
+			if m.ports[pid].tenants != 0 || m.ports[pid].Rate != 0 || m.ports[pid].Burst != 0 {
+				t.Logf("port %d leaked contributions after teardown: %+v", pid, m.ports[pid])
+				return false
+			}
+		}
+		// All slots back.
+		if m.ix.totalFree != tree.Slots() {
+			t.Logf("slot leak: %d free, want %d", m.ix.totalFree, tree.Slots())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
 func mustSmallTree() *topology.Tree {
 	tree, err := topology.New(topology.Config{
 		Pods:           2,

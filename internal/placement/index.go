@@ -14,6 +14,15 @@ type slotIndex struct {
 	freeByRack []int
 	freeByPod  []int
 	totalFree  int
+	// disabled marks failed servers: their free slots are hidden from
+	// every sum so all search paths avoid them with no extra checks
+	// (a disabled server simply reports zero free slots). hidden holds
+	// the slot count to restore on enable; frees that land on a
+	// disabled server (a tenant removed mid-outage) accrue there too.
+	// Both are nil until the first failure — the no-fault hot path
+	// pays one nil check in free().
+	disabled []bool
+	hidden   []int
 }
 
 func newSlotIndex(tree *topology.Tree) *slotIndex {
@@ -45,12 +54,55 @@ func (ix *slotIndex) take(s int) {
 	ix.totalFree--
 }
 
-// free releases one slot on server s.
+// free releases one slot on server s. A slot freed on a failed server
+// is parked in hidden and surfaces when the server is re-enabled.
 func (ix *slotIndex) free(s int) {
+	if ix.disabled != nil && ix.disabled[s] {
+		ix.hidden[s]++
+		return
+	}
 	ix.freeSlots[s]++
 	ix.freeByRack[ix.tree.RackOfServer(s)]++
 	ix.freeByPod[ix.tree.PodOfServer(s)]++
 	ix.totalFree++
+}
+
+// disable hides server s's free slots from every sum, so admission and
+// recovery never land VMs there. Idempotent.
+func (ix *slotIndex) disable(s int) {
+	if ix.disabled == nil {
+		ix.disabled = make([]bool, len(ix.freeSlots))
+		ix.hidden = make([]int, len(ix.freeSlots))
+	}
+	if ix.disabled[s] {
+		return
+	}
+	ix.disabled[s] = true
+	n := ix.freeSlots[s]
+	ix.hidden[s] = n
+	ix.freeSlots[s] = 0
+	ix.freeByRack[ix.tree.RackOfServer(s)] -= n
+	ix.freeByPod[ix.tree.PodOfServer(s)] -= n
+	ix.totalFree -= n
+}
+
+// enable restores a disabled server's hidden slots. Idempotent.
+func (ix *slotIndex) enable(s int) {
+	if ix.disabled == nil || !ix.disabled[s] {
+		return
+	}
+	ix.disabled[s] = false
+	n := ix.hidden[s]
+	ix.hidden[s] = 0
+	ix.freeSlots[s] = n
+	ix.freeByRack[ix.tree.RackOfServer(s)] += n
+	ix.freeByPod[ix.tree.PodOfServer(s)] += n
+	ix.totalFree += n
+}
+
+// isDisabled reports whether server s is failed.
+func (ix *slotIndex) isDisabled(s int) bool {
+	return ix.disabled != nil && ix.disabled[s]
 }
 
 // headroomSlack pads the port-headroom skip test so that float rounding

@@ -42,6 +42,10 @@ type Metrics struct {
 	FastPath        *obs.Counter
 	RefPath         *obs.Counter
 	Removed         *obs.Counter
+	RecoveryUs      *obs.Histogram
+	Relocated       *obs.Counter
+	Degraded        *obs.Counter
+	Evicted         *obs.Counter
 }
 
 // NewMetrics registers the placement metrics. A nil registry returns
@@ -67,6 +71,14 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"requests served per admission path", "path", "reference"),
 		Removed: reg.Counter("silo_place_removed_total",
 			"tenants released"),
+		RecoveryUs: reg.Histogram("silo_place_recovery_us",
+			"failure-recovery latency per Recover call (µs, wall clock)"),
+		Relocated: reg.Counter("silo_place_recovered_total",
+			"tenants recovered after a failure", "verdict", "relocated"),
+		Degraded: reg.Counter("silo_place_recovered_total",
+			"tenants recovered after a failure", "verdict", "degraded"),
+		Evicted: reg.Counter("silo_place_recovered_total",
+			"tenants recovered after a failure", "verdict", "evicted"),
 	}
 }
 
@@ -99,6 +111,17 @@ func (mx *Metrics) noteRemove() {
 		return
 	}
 	mx.Removed.Inc()
+}
+
+// noteRecover records one Recover call's latency and verdict counts.
+func (mx *Metrics) noteRecover(elapsed time.Duration, r *RecoveryReport) {
+	if mx == nil {
+		return
+	}
+	mx.RecoveryUs.Observe(elapsed.Microseconds())
+	mx.Relocated.Add(int64(r.Relocated))
+	mx.Degraded.Add(int64(r.Degraded))
+	mx.Evicted.Add(int64(r.Evicted))
 }
 
 // EnableMetrics attaches telemetry to the manager and registers the

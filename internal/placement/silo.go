@@ -315,6 +315,13 @@ func (m *Manager) Remove(id int) error {
 		return fmt.Errorf("%w: id %d", ErrUnknownTenant, id)
 	}
 	m.mx.noteRemove()
+	m.detach(at)
+	return nil
+}
+
+// detach releases an admitted tenant's port contributions and slots —
+// the shared core of Remove and the recovery path's evacuation step.
+func (m *Manager) detach(at *admittedTenant) {
 	for pid, c := range at.contribs {
 		m.ports[pid].remove(c)
 		m.portTouched(pid)
@@ -322,8 +329,7 @@ func (m *Manager) Remove(id int) error {
 	for _, s := range at.placement.Servers {
 		m.freeSlot(s, at.placement.Spec)
 	}
-	delete(m.admitted, id)
-	return nil
+	delete(m.admitted, at.placement.Spec.ID)
 }
 
 func (m *Manager) placeBestEffort(spec tenant.Spec) (*tenant.Placement, error) {

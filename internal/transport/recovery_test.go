@@ -4,6 +4,55 @@ import (
 	"testing"
 )
 
+// TestRTORecoveryAcrossLinkDeath kills the path in the middle of a
+// message — not before it, as in the blackhole test below — by failing
+// the source rack's uplink once the transfer is under way, restoring
+// it later. Go-back-N must complete the message after the restore,
+// with the timeouts charged to it and no data lost or duplicated.
+func TestRTORecoveryAcrossLinkDeath(t *testing.T) {
+	nw := testNet(t, 312e3)
+	f := NewFabric(nw)
+	src := f.AddEndpoint(100, 0, Options{MinRTONs: 5_000_000})
+	f.AddEndpoint(200, 3, Options{}) // other rack: path crosses tor0's uplink
+	var done *Message
+	const size = 400_000
+	m := src.SendMessage(200, size, func(mm *Message) { done = mm })
+
+	up := nw.Queues[nw.Tree.RackUpPortID(0)]
+	// 400 KB at 10 Gbps needs ~320 µs of wire time plus slow-start
+	// ramp; fail at 200 µs — squarely mid-message — and restore 30 ms
+	// later, past several RTO firings.
+	nw.Sim.At(200_000, func() { up.Fail() })
+	nw.Sim.At(30_000_000, func() { up.Restore() })
+	nw.Sim.Run(300e9)
+
+	if done == nil {
+		t.Fatal("message never completed after link restore")
+	}
+	if done != m {
+		t.Fatal("wrong message completed")
+	}
+	c := src.Conn(200)
+	if c.RTOCount == 0 {
+		t.Fatal("mid-message link death should have forced at least one RTO")
+	}
+	if done.RTOs == 0 {
+		t.Error("message should carry the RTOs that hit it")
+	}
+	if up.Stats.FaultDroppedPkts == 0 {
+		t.Error("link death dropped nothing — fault not exercised")
+	}
+	dst, _ := f.Endpoint(200)
+	if got := dst.BytesReceived(100); got != size {
+		t.Errorf("receiver got %d bytes, want %d", got, size)
+	}
+	// Completion must postdate the restore: the tail of the message
+	// could only cross after the link came back.
+	if done.Completed < 30_000_000 {
+		t.Errorf("message completed at %d ns, before the link was restored", done.Completed)
+	}
+}
+
 // TestRTORecoveryAfterBlackhole: a destination that appears only after
 // the first transmissions are lost forces timeouts; the transfer must
 // still complete, with the timeouts charged to the message.
