@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: all ci vet build test test-race test-faults bench-placement bench-obs bench-telemetry regress baselines
+.PHONY: all ci vet build test test-race test-faults test-parallel bench-placement bench-obs bench-telemetry regress baselines
 
 all: vet build test
 
 # Everything CI runs, in order. The race pass covers the packages with
 # concurrent hot paths: the sharded obs histograms and the pacer.
-ci: vet build test test-faults
+ci: vet build test test-faults test-parallel
 	$(GO) test -race ./internal/obs/... ./internal/pacer/...
 
 vet:
@@ -32,6 +32,13 @@ test-faults:
 	$(GO) test -run 'Recover|Churn' ./internal/placement/ ./internal/transport/
 	$(GO) test -run FailureDrill ./internal/experiments/
 
+# The parallel-simulator determinism gates under the race detector:
+# every equivalence test drives the island engine at worker counts
+# {1, 2, 8} (and 4, for the full-summary gate) against the sequential
+# simulator and requires byte-identical results.
+test-parallel:
+	$(GO) test -race -run 'Parallel|GlobalEvents|CrossIsland' ./internal/netsim/ ./internal/experiments/ ./internal/faults/
+
 # Reproduces the placement-at-scale numbers recorded in
 # bench_all_output.txt (see README.md "Placement at scale").
 bench-placement:
@@ -47,12 +54,12 @@ bench-obs:
 bench-telemetry:
 	$(GO) test -run '^$$' -bench 'BenchmarkCapture|BenchmarkFlush' -benchmem ./internal/obs/timeseries/ ./internal/obs/slo/
 
-# Runs the three microbenchmarks and compares them against the
-# committed BENCH_*.json baselines; exits non-zero on regression.
+# Runs the microbenchmarks and compares them against the committed
+# BENCH_*.json baselines; exits non-zero on regression.
 regress:
 	$(GO) run ./cmd/silo-bench -regress
 
 # Regenerates the committed microbenchmark baselines in place. Run on a
 # quiet machine and commit the diff deliberately.
 baselines:
-	$(GO) run ./cmd/silo-bench -run placeub,pacerub,netsimub -bench-json .
+	$(GO) run ./cmd/silo-bench -run placeub,pacerub,netsimub,netsimpar -bench-json .

@@ -12,7 +12,7 @@
 //
 // Experiments: fig1, table1, fig5, fig10, fig11, fig12 (also emits
 // fig13, fig14 and table4), fig15, fig16a, fig16b, placeub, pacerub,
-// netsimub.
+// netsimub, netsimpar.
 package main
 
 import (
@@ -48,9 +48,10 @@ var benchRecords = map[string]experiments.BenchRecord{}
 // benchBaseline maps each microbenchmark to its committed baseline
 // file name.
 var benchBaseline = map[string]string{
-	"placeub":  "BENCH_placement.json",
-	"pacerub":  "BENCH_pacer.json",
-	"netsimub": "BENCH_netsim.json",
+	"placeub":   "BENCH_placement.json",
+	"pacerub":   "BENCH_pacer.json",
+	"netsimub":  "BENCH_netsim.json",
+	"netsimpar": "BENCH_netsim_parallel.json",
 }
 
 // noteBenchRecord stores a microbenchmark record and writes it out if
@@ -86,7 +87,8 @@ func writeCSV(name string, header []string, rows [][]float64) {
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "experiment to run (all|fig1|table1|fig5|fig10|fig11|fig12|fig15|fig16a|fig16b|placeub|pacerub|netsimub|besteffort|burststress|faultdrill)")
+		run      = flag.String("run", "all", "experiment to run (all|fig1|table1|fig5|fig10|fig11|fig12|fig15|fig16a|fig16b|placeub|pacerub|netsimub|netsimpar|parscale|besteffort|burststress|faultdrill)")
+		workers  = flag.Int("workers", 0, "island worker count for the parallel-simulator microbenchmark (0 = its default, 8)")
 		duration = flag.Float64("duration", 0, "override simulated seconds for packet-level experiments")
 		requests = flag.Int("requests", 0, "override request count for the placement microbenchmark")
 		seed     = flag.Uint64("seed", 0, "override RNG seed")
@@ -148,11 +150,13 @@ func main() {
 		"placeub":     func() error { return runPlaceUB(*requests, *seed) },
 		"pacerub":     runPacerUB,
 		"netsimub":    runNetsimUB,
+		"netsimpar":   func() error { return runNetsimParUB(*workers) },
+		"parscale":    runParallelScale,
 		"besteffort":  func() error { return runBestEffort(*duration, *seed) },
 		"burststress": runBurstStressCmd,
 		"faultdrill":  func() error { return runFaultDrill(*seed) },
 	}
-	order := []string{"fig1", "table1", "fig5", "fig10", "fig11", "fig12", "fig15", "fig16a", "fig16b", "placeub", "pacerub", "netsimub", "besteffort", "burststress", "faultdrill"}
+	order := []string{"fig1", "table1", "fig5", "fig10", "fig11", "fig12", "fig15", "fig16a", "fig16b", "placeub", "pacerub", "netsimub", "netsimpar", "parscale", "besteffort", "burststress", "faultdrill"}
 
 	names := strings.Split(*run, ",")
 	if *run == "all" {
@@ -160,7 +164,7 @@ func main() {
 		if *regress {
 			// The regression gate only needs the record-producing
 			// microbenchmarks.
-			names = []string{"placeub", "pacerub", "netsimub"}
+			names = []string{"placeub", "pacerub", "netsimub", "netsimpar"}
 		}
 	}
 	for _, name := range names {
@@ -524,6 +528,54 @@ func runPacerUB() error {
 	rec := experiments.RunPacerBench(experiments.DefaultPacerBenchParams())
 	fmt.Print(rec.Render())
 	return noteBenchRecord(rec)
+}
+
+func runNetsimParUB(workers int) error {
+	p := experiments.DefaultNetsimParallelBenchParams()
+	if workers > 0 {
+		p.Workers = workers
+	}
+	fmt.Printf("Parallel-netsim microbenchmark — island engine on a 16-pod fabric, %d workers:\n", p.Workers)
+	rec, err := experiments.RunNetsimParallelBench(p)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rec.Render())
+	return noteBenchRecord(rec)
+}
+
+// runParallelScale prints the worker-count scaling table for the
+// island engine and verifies the determinism contract end to end: the
+// full run summary (per-port CSV, fabric totals, guarantee audit, SLO
+// report) must be byte-identical to the sequential simulator's at
+// every worker count.
+func runParallelScale() error {
+	fmt.Println("Parallel netsim scaling — 16-pod fabric with per-pod islands, full telemetry attached:")
+	var p experiments.ParallelScaleParams
+	var refSummary string
+	var seqPPS float64
+	fmt.Printf("%8s %14s %12s %8s %9s\n", "engine", "packets/sec", "elapsed_ms", "epochs", "speedup")
+	for _, w := range []int{0, 1, 2, 4, 8} {
+		p.Workers = w
+		r, err := experiments.RunParallelScale(p)
+		if err != nil {
+			return err
+		}
+		if w == 0 {
+			refSummary = r.Summary
+			seqPPS = r.PacketsPerSec()
+		} else if r.Summary != refSummary {
+			return fmt.Errorf("workers=%d: summary diverges from the sequential run", w)
+		}
+		name := "seq"
+		if w > 0 {
+			name = fmt.Sprintf("w=%d", w)
+		}
+		fmt.Printf("%8s %14.0f %12.1f %8d %8.2fx\n",
+			name, r.PacketsPerSec(), float64(r.ElapsedNs)/1e6, r.Epochs, r.PacketsPerSec()/seqPPS)
+	}
+	fmt.Println("summaries byte-identical across the sequential engine and every worker count")
+	return nil
 }
 
 func runNetsimUB() error {

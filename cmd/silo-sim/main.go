@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -62,6 +63,7 @@ func main() {
 		windowMs    = flag.Float64("window", 1, "SLO / time-series window in simulated milliseconds")
 		faultSched  = flag.String("fault", "", "fault schedule, e.g. \"t=20ms link 14 down; t=30ms up\" or \"t=20ms switch tor0 down\" (targets: link PORT, switch core|podN|torN, host ID; actions: down, up, gray DUR, flap NxDOWN/UP)")
 		faultDetect = flag.Duration("fault-detect", 500*time.Microsecond, "control-loop detection delay between an injected fault and the placement Recover call (silo scheme only)")
+		workers     = flag.Int("workers", 0, "parallel island workers (0 = sequential engine; >0 partitions the fabric into per-pod islands under conservative lookahead)")
 	)
 	flag.Parse()
 
@@ -131,7 +133,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	nw := netsim.Build(netsim.NewSim(), tree, schemeNetOptions(scheme, tree))
+	var nw *netsim.Network
+	if *workers > 0 {
+		// 2 µs pod↔core propagation is the lookahead bound; larger
+		// crossing delays mean longer epochs and fewer barriers.
+		nw = netsim.BuildParallel(tree, schemeNetOptions(scheme, tree),
+			netsim.ParallelOptions{Workers: *workers, CrossPropNs: 2000})
+	} else {
+		nw = netsim.Build(netsim.NewSim(), tree, schemeNetOptions(scheme, tree))
+	}
 	f := transport.NewFabric(nw)
 	rng := stats.NewRand(*seed)
 
@@ -260,6 +270,10 @@ func main() {
 		fmt.Printf("dashboard: http://%s/\n", srv.Addr())
 	}
 
+	// Message completions execute on the owning endpoint's island; under
+	// -workers they may run on different goroutines, so the shared
+	// tallies take a lock (uncontended at message granularity).
+	var latMu sync.Mutex
 	lat := stats.NewSample(1 << 14)
 	rtos := 0
 	msgs := 0
@@ -273,10 +287,12 @@ func main() {
 		for i := 1; i < *vmsA; i++ {
 			msgs++
 			depA.Endpoints[i].SendMessage(depA.VMIDs[0], msg, func(m *transport.Message) {
+				latMu.Lock()
 				lat.Add(float64(m.Latency()) / 1e3)
 				if m.RTOs > 0 {
 					rtos++
 				}
+				latMu.Unlock()
 			})
 		}
 		next += int64(rng.Exp(meanPeriod))
@@ -294,9 +310,14 @@ func main() {
 			}
 			ep := depB.Endpoints[i]
 			dst := depB.VMIDs[j]
+			// The completion callback runs on the sending host's island,
+			// whose clock is exact there; the global clock only advances
+			// at epoch barriers and would keep the pump alive past the
+			// horizon under -workers.
+			hsim := nw.Hosts[plB.Servers[i]].Sim()
 			var pump func(*transport.Message)
 			pump = func(*transport.Message) {
-				if nw.Sim.Now() < horizon {
+				if hsim.Now() < horizon {
 					ep.SendMessage(dst, 1<<20, pump)
 				}
 			}
@@ -308,7 +329,7 @@ func main() {
 	// below still runs, so partial-run telemetry and traces are flushed
 	// and written rather than lost.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	nw.Sim.RunCtx(ctx, drainEnd)
+	nw.RunCtx(ctx, drainEnd)
 	interrupted := ctx.Err() != nil
 	stopSignals()
 	if interrupted {

@@ -258,13 +258,41 @@ func DefaultNetsimBenchParams() NetsimBenchParams {
 	return NetsimBenchParams{PacketsPerHost: 1000, Reps: 25}
 }
 
+// benchGen is a self-rescheduling per-host packet source: it sends one
+// arena packet and re-arms itself at the line-rate gap until its quota
+// is spent. Generator-style injection keeps the event heap a few
+// entries deep (one pending event per host) instead of pre-scheduling
+// every send as its own closure, and together with FreeOnDeliver it
+// makes the steady-state hot path allocation-free.
+type benchGen struct {
+	host      *netsim.Host
+	dst       int
+	size      int
+	remaining int
+	gapNs     int64
+	fn        func() // == send, bound once
+}
+
+func (g *benchGen) send() {
+	sim := g.host.Sim()
+	p := sim.AllocPacket()
+	p.Src = g.host.ID
+	p.Dst = g.dst
+	p.Size = g.size
+	g.host.Send(p)
+	g.remaining--
+	if g.remaining > 0 {
+		sim.After(g.gapNs, g.fn)
+	}
+}
+
 // RunNetsimBench measures the event engine end to end: scheduling,
 // queueing, per-hop forwarding and delivery. One op is one simulated
 // packet; each rep injects a line-rate permutation (host h to host
-// h+3 mod N, always crossing at least a rack boundary) and runs the
-// simulator until the fabric drains, contributing one ns/packet
-// sample. The network is built once — reps extend simulated time, as
-// a long-running simulation would.
+// h+3 mod N, always crossing at least a rack boundary) via per-host
+// generators and runs the simulator until the fabric drains,
+// contributing one ns/packet sample. The network is built once — reps
+// extend simulated time, as a long-running simulation would.
 func RunNetsimBench(p NetsimBenchParams) (BenchRecord, error) {
 	if p.Reps <= 0 {
 		p.Reps = DefaultNetsimBenchParams().Reps
@@ -291,12 +319,18 @@ func RunNetsimBench(p NetsimBenchParams) (BenchRecord, error) {
 	var deliveredCount int64
 	for _, h := range nw.Hosts {
 		h.OnDeliver = func(*netsim.Packet, int64) { deliveredCount++ }
+		h.FreeOnDeliver = true
 	}
 
 	const size = 1500
 	// Frame time at line rate; senders pace themselves so queues stay
 	// shallow and the cost measured is the engine, not drop handling.
 	gapNs := int64(float64(size*8) / (10 * gbps * 8) * 1e9)
+	gens := make([]*benchGen, hosts)
+	for h := 0; h < hosts; h++ {
+		gens[h] = &benchGen{host: nw.Hosts[h], dst: (h + 3) % hosts, size: size, gapNs: gapNs}
+		gens[h].fn = gens[h].send
+	}
 	perPacket := stats.NewSample(p.Reps)
 	rec := BenchRecord{Benchmark: "netsimub", Hosts: hosts}
 	var ms0 runtime.MemStats
@@ -305,14 +339,9 @@ func RunNetsimBench(p NetsimBenchParams) (BenchRecord, error) {
 	for rep := 0; rep < p.Reps; rep++ {
 		repStart := time.Now()
 		base := nw.Sim.Now()
-		for i := 0; i < p.PacketsPerHost; i++ {
-			at := base + int64(i)*gapNs
-			for h := 0; h < hosts; h++ {
-				h := h
-				nw.Sim.At(at, func() {
-					nw.Hosts[h].Send(&netsim.Packet{Src: h, Dst: (h + 3) % hosts, Size: size})
-				})
-			}
+		for h := 0; h < hosts; h++ {
+			gens[h].remaining = p.PacketsPerHost
+			nw.Sim.At(base, gens[h].fn)
 		}
 		// Drain: horizon comfortably past the last injection.
 		nw.Sim.Run(base + int64(p.PacketsPerHost)*gapNs + int64(1e6))

@@ -1,0 +1,21 @@
+package experiments
+
+import "testing"
+
+// BenchmarkNetsimParallel runs the netsimpar microbenchmark workload
+// once per iteration (64 hosts × 1000 packets on the 16-pod fabric);
+// ns/op ÷ 64000 is the per-packet cost silo-bench reports.
+func BenchmarkNetsimParallel(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		b.Run(map[int]string{1: "w1", 8: "w8"}[workers], func(b *testing.B) {
+			p := DefaultNetsimParallelBenchParams()
+			p.Workers = workers
+			p.Reps = b.N
+			b.ReportAllocs()
+			b.ResetTimer()
+			if _, err := RunNetsimParallelBench(p); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,403 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/obs/slo"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// ParallelScaleParams configures the parallel-simulator scale
+// experiment: a multi-pod fabric under per-host generator traffic with
+// per-pod tenants, a delay audit, and an SLO burn-rate engine — the
+// full telemetry stack of silo-sim, driven at a size where the
+// sequential engine is the bottleneck.
+//
+// The workload is constructed tie-free across island boundaries so the
+// run summary is byte-identical between the sequential engine
+// (Workers == 0) and the parallel engine at any worker count: per-host
+// start offsets are odd (14·host+1) while every delay component —
+// inter-packet gap, serialization at uniform size, propagation — is
+// even, so packet events land on odd nanoseconds and telemetry flushes
+// on even ones, and no global event ever ties with a packet event.
+type ParallelScaleParams struct {
+	// Pods (each RacksPerPod × ServersPerRack hosts) sets the island
+	// count: one per pod plus the core.
+	Pods           int
+	RacksPerPod    int
+	ServersPerRack int
+	// PacketsPerHost injected by each host's generator.
+	PacketsPerHost int
+	// CrossPodEvery routes every Nth packet to the same-position host
+	// one pod over (the rest go to a rack-local neighbour), keeping the
+	// pod↔core crossing links busy.
+	CrossPodEvery int
+	// Workers selects the engine: 0 runs the classic sequential Build,
+	// >= 1 runs BuildParallel with that many island workers.
+	Workers int
+	// WindowNs is the SLO/telemetry flush period (must be even to
+	// preserve the tie-free construction; defaults to 100µs).
+	WindowNs int64
+	// DelayBoundNs is the per-tenant NIC-to-NIC delay SLO. The default
+	// (7µs) sits between the rack-local and cross-pod path delays, so
+	// cross-pod traffic populates the violation/burn tables
+	// deterministically.
+	DelayBoundNs int64
+}
+
+// DefaultParallelScaleParams is the 16-pod, 64-host configuration the
+// scaling table in EXPERIMENTS.md reports.
+func DefaultParallelScaleParams() ParallelScaleParams {
+	return ParallelScaleParams{
+		Pods:           16,
+		RacksPerPod:    2,
+		ServersPerRack: 2,
+		PacketsPerHost: 2000,
+		CrossPodEvery:  4,
+		Workers:        0,
+		WindowNs:       100_000,
+		DelayBoundNs:   7_000,
+	}
+}
+
+func (p *ParallelScaleParams) fill() {
+	d := DefaultParallelScaleParams()
+	if p.Pods <= 0 {
+		p.Pods = d.Pods
+	}
+	if p.RacksPerPod <= 0 {
+		p.RacksPerPod = d.RacksPerPod
+	}
+	if p.ServersPerRack <= 0 {
+		p.ServersPerRack = d.ServersPerRack
+	}
+	if p.PacketsPerHost <= 0 {
+		p.PacketsPerHost = d.PacketsPerHost
+	}
+	if p.CrossPodEvery <= 0 {
+		p.CrossPodEvery = d.CrossPodEvery
+	}
+	if p.WindowNs <= 0 {
+		p.WindowNs = d.WindowNs
+	}
+	if p.DelayBoundNs <= 0 {
+		p.DelayBoundNs = d.DelayBoundNs
+	}
+}
+
+// ParallelScaleResult is one run of the scale experiment.
+type ParallelScaleResult struct {
+	// Summary is the determinism surface: run parameters, the per-port
+	// stats CSV, fabric totals, the guarantee-audit summary, and the
+	// SLO report. Byte-identical across engines and worker counts.
+	Summary string
+	// Packets is the number of data packets injected.
+	Packets int64
+	// Delivered is the number of packets that reached their host.
+	Delivered int64
+	// Events is the number of simulator events executed.
+	Events int
+	// Epochs counts epoch barriers (0 for the sequential engine).
+	Epochs int64
+	// SimulatedNs is the simulated horizon, ElapsedNs the wall clock.
+	SimulatedNs int64
+	ElapsedNs   int64
+}
+
+// PacketsPerSec reports aggregate simulated-packet throughput.
+func (r ParallelScaleResult) PacketsPerSec() float64 {
+	if r.ElapsedNs <= 0 {
+		return 0
+	}
+	return float64(r.Packets) / (float64(r.ElapsedNs) / 1e9)
+}
+
+// scaleGen drives one host: send a packet, re-arm after the gap.
+type scaleGen struct {
+	host      *netsim.Host
+	localDst  int
+	crossDst  int
+	crossMod  int
+	size      int
+	seq       int
+	remaining int
+	gapNs     int64
+	delivered int64
+	fn        func() // == send, bound once
+}
+
+func (g *scaleGen) send() {
+	sim := g.host.Sim()
+	p := sim.AllocPacket()
+	p.Src = g.host.ID
+	p.SrcVM = g.host.ID
+	if g.seq%g.crossMod == 0 {
+		p.Dst = g.crossDst
+	} else {
+		p.Dst = g.localDst
+	}
+	p.DstVM = p.Dst
+	p.Size = g.size
+	g.seq++
+	g.host.Send(p)
+	g.remaining--
+	if g.remaining > 0 {
+		sim.After(g.gapNs, g.fn)
+	}
+}
+
+// RunParallelScale builds the fabric, runs the generator workload to
+// drain, and renders the determinism summary.
+func RunParallelScale(p ParallelScaleParams) (ParallelScaleResult, error) {
+	p.fill()
+	tree, err := topology.New(topology.Config{
+		Pods:           p.Pods,
+		RacksPerPod:    p.RacksPerPod,
+		ServersPerRack: p.ServersPerRack,
+		SlotsPerServer: 4,
+		LinkBps:        10 * gbps,
+		BufferBytes:    312e3,
+		NICBufferBytes: 150e3,
+		RackOversub:    1,
+		PodOversub:     1,
+	})
+	if err != nil {
+		return ParallelScaleResult{}, err
+	}
+
+	// Even delay components (see the tie-free construction above): the
+	// 1500 B frame serializes in exactly 1200 ns at 10 Gbps, links
+	// propagate in 200 ns, and hosts send every 1400 ns. Host start
+	// offsets 14·h+1 are odd and never collide modulo the gap (14·Δh ≡ 0
+	// mod 1400 needs Δh ≡ 0 mod 100, impossible below 100 hosts).
+	const size = 1500
+	const gapNs = 1400
+	const propNs = 200
+	opts := netsim.Options{PropNs: propNs}
+
+	var nw *netsim.Network
+	if p.Workers >= 1 {
+		nw = netsim.BuildParallel(tree, opts, netsim.ParallelOptions{Workers: p.Workers})
+	} else {
+		nw = netsim.Build(netsim.NewSim(), tree, opts)
+	}
+
+	hosts := len(nw.Hosts)
+	hostsPerPod := p.RacksPerPod * p.ServersPerRack
+	gens := make([]*scaleGen, hosts)
+	for h := 0; h < hosts; h++ {
+		pod := h / hostsPerPod
+		base := pod * hostsPerPod
+		g := &scaleGen{
+			host: nw.Hosts[h],
+			// Rack-local neighbour (wrapping inside the pod) and the
+			// same-position host one pod over.
+			localDst:  base + (h-base+1)%hostsPerPod,
+			crossDst:  (h + hostsPerPod) % hosts,
+			crossMod:  p.CrossPodEvery,
+			size:      size,
+			remaining: p.PacketsPerHost,
+			gapNs:     gapNs,
+		}
+		g.fn = g.send
+		gens[h] = g
+		host := nw.Hosts[h]
+		g2 := g
+		host.OnDeliver = func(*netsim.Packet, int64) { g2.delivered++ }
+		host.FreeOnDeliver = true
+	}
+
+	// Per-pod tenants with a hose guarantee and the delay SLO; the
+	// delivery audit attributes each packet to its destination pod.
+	audit := obs.NewGuaranteeAuditor(nil)
+	for pod := 0; pod < p.Pods; pod++ {
+		audit.Admit(pod, 10*gbps*float64(hostsPerPod), 2*size, float64(p.DelayBoundNs)/1e9)
+	}
+	nw.AttachDelayAudit(audit, func(vmID int) (int, bool) {
+		if vmID < 0 || vmID >= hosts {
+			return 0, false
+		}
+		return vmID / hostsPerPod, true
+	})
+	tracker := netsim.AttachPortWindowTracker(nw)
+	engine := slo.New(slo.Config{WindowNs: p.WindowNs}, audit, tracker)
+
+	// Horizon: the last injection plus ample drain time, rounded to an
+	// even number so the final flush stays tie-free.
+	lastStart := int64(14*(hosts-1) + 1)
+	horizon := lastStart + int64(p.PacketsPerHost)*gapNs + 1_000_000
+	horizon += horizon & 1
+	nw.Sim.Every(p.WindowNs, horizon, func(now int64) {
+		engine.Flush(now)
+		tracker.Reset()
+	})
+
+	for h, g := range gens {
+		nw.Sim.At(int64(14*h+1), g.fn)
+	}
+
+	start := time.Now()
+	events := nw.Run(horizon)
+	elapsed := time.Since(start)
+	engine.Flush(nw.Sim.Now())
+
+	var delivered int64
+	for _, g := range gens {
+		delivered += g.delivered
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "parallelscale: pods=%d hosts=%d pkts/host=%d crossEvery=%d window=%dns bound=%dns\n",
+		p.Pods, hosts, p.PacketsPerHost, p.CrossPodEvery, p.WindowNs, p.DelayBoundNs)
+	b.WriteString("port,enq,sent,sentB,drop,faultDrop,ecn,hwm\n")
+	for pid, q := range nw.Queues {
+		if q == nil {
+			continue
+		}
+		s := &q.Stats
+		fmt.Fprintf(&b, "%d:%s,%d,%d,%d,%d,%d,%d,%d\n",
+			pid, q.Name, s.EnqueuedPkts, s.SentPkts, s.SentBytes, s.DroppedPkts, s.FaultDroppedPkts, s.ECNMarked, s.HighWaterBytes)
+	}
+	fmt.Fprintf(&b, "totals: delivered=%d drops=%d faultDrops=%d goodputB=%d\n",
+		delivered, nw.TotalDrops(), nw.TotalFaultDrops(), nw.SentDataBytes())
+	b.WriteString(audit.Summary())
+	b.WriteString(engine.RenderReport())
+
+	res := ParallelScaleResult{
+		Summary:     b.String(),
+		Packets:     int64(hosts) * int64(p.PacketsPerHost),
+		Delivered:   delivered,
+		Events:      events,
+		SimulatedNs: nw.Sim.Now(),
+		ElapsedNs:   elapsed.Nanoseconds(),
+	}
+	if nw.PS != nil {
+		res.Epochs = nw.PS.Epochs()
+	}
+	return res, nil
+}
+
+// NetsimParallelBenchParams configures the parallel-simulator
+// benchmark ("netsimpar"): reps of the scale workload's generator
+// traffic on a 16-pod fabric, measuring wall-clock cost per simulated
+// packet on the island engine.
+type NetsimParallelBenchParams struct {
+	// Pods of 4 hosts each (2 racks × 2 servers).
+	Pods int
+	// PacketsPerHost injected per host per rep.
+	PacketsPerHost int
+	// Reps is the sample size (one ns/packet sample per rep).
+	Reps int
+	// Workers is the island worker count.
+	Workers int
+}
+
+// DefaultNetsimParallelBenchParams is the headline configuration:
+// 16 pods (64 hosts) at 8 workers.
+func DefaultNetsimParallelBenchParams() NetsimParallelBenchParams {
+	return NetsimParallelBenchParams{Pods: 16, PacketsPerHost: 1000, Reps: 10, Workers: 8}
+}
+
+// RunNetsimParallelBench measures the parallel engine end to end on
+// the 16-pod fabric. One op is one simulated packet; each rep drives
+// every host's generator through its quota (3 of 4 packets rack-local,
+// 1 of 4 crossing pods through the core island) and runs to drain. The
+// network is built once — reps extend simulated time.
+func RunNetsimParallelBench(p NetsimParallelBenchParams) (BenchRecord, error) {
+	d := DefaultNetsimParallelBenchParams()
+	if p.Pods <= 0 {
+		p.Pods = d.Pods
+	}
+	if p.PacketsPerHost <= 0 {
+		p.PacketsPerHost = d.PacketsPerHost
+	}
+	if p.Reps <= 0 {
+		p.Reps = d.Reps
+	}
+	if p.Workers <= 0 {
+		p.Workers = d.Workers
+	}
+	tree, err := topology.New(topology.Config{
+		Pods:           p.Pods,
+		RacksPerPod:    2,
+		ServersPerRack: 2,
+		SlotsPerServer: 4,
+		LinkBps:        10 * gbps,
+		BufferBytes:    312e3,
+		NICBufferBytes: 150e3,
+		RackOversub:    1,
+		PodOversub:     1,
+	})
+	if err != nil {
+		return BenchRecord{}, err
+	}
+	// A generous crossing-link propagation (still a realistic cable
+	// length) widens the lookahead window, amortizing barriers over
+	// more events per epoch.
+	nw := netsim.BuildParallel(tree, netsim.Options{PropNs: 200}, netsim.ParallelOptions{
+		Workers:     p.Workers,
+		CrossPropNs: 2000,
+	})
+	hosts := len(nw.Hosts)
+	hostsPerPod := 4
+	const size = 1500
+	const gapNs = 1400
+	gens := make([]*scaleGen, hosts)
+	for h := 0; h < hosts; h++ {
+		pod := h / hostsPerPod
+		base := pod * hostsPerPod
+		g := &scaleGen{
+			host:     nw.Hosts[h],
+			localDst: base + (h-base+1)%hostsPerPod,
+			crossDst: (h + hostsPerPod) % hosts,
+			crossMod: 4,
+			size:     size,
+			gapNs:    gapNs,
+		}
+		g.fn = g.send
+		gens[h] = g
+		host := nw.Hosts[h]
+		g2 := g
+		host.OnDeliver = func(*netsim.Packet, int64) { g2.delivered++ }
+		host.FreeOnDeliver = true
+	}
+
+	perPacket := stats.NewSample(p.Reps)
+	rec := BenchRecord{Benchmark: "netsimpar", Hosts: hosts}
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for rep := 0; rep < p.Reps; rep++ {
+		repStart := time.Now()
+		base := nw.Sim.Now()
+		for h, g := range gens {
+			g.remaining = p.PacketsPerHost
+			nw.Sim.At(base+int64(14*h+1), g.fn)
+		}
+		nw.Run(base + int64(p.PacketsPerHost)*gapNs + int64(1e6))
+		perPacket.Add(float64(time.Since(repStart).Nanoseconds()) / float64(p.PacketsPerHost*hosts))
+	}
+	rec.TotalNs = time.Since(start).Nanoseconds()
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
+	var delivered int64
+	for _, g := range gens {
+		delivered += g.delivered
+	}
+	rec.Requests = p.Reps * p.PacketsPerHost * hosts
+	rec.Accepted = int(delivered)
+	if rec.Requests > 0 {
+		rec.AllocsPerOp = int64(ms1.Mallocs-ms0.Mallocs) / int64(rec.Requests)
+	}
+	rec.MeanNs = int64(perPacket.Mean())
+	rec.P50Ns = int64(perPacket.Percentile(50))
+	rec.P99Ns = int64(perPacket.Percentile(99))
+	rec.MaxNs = int64(perPacket.Max())
+	return rec, nil
+}

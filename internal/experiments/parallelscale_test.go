@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParallelScaleEquivalence is the acceptance gate for the island
+// engine: the full run summary — per-port stats CSV, fabric totals,
+// guarantee-audit summary, SLO report — must be byte-identical between
+// the sequential simulator and the parallel engine at worker counts
+// 1, 2, 4 and 8.
+func TestParallelScaleEquivalence(t *testing.T) {
+	params := ParallelScaleParams{
+		Pods:           4,
+		PacketsPerHost: 300,
+		WindowNs:       100_000,
+	}
+	params.Workers = 0
+	ref, err := RunParallelScale(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Delivered != ref.Packets {
+		t.Fatalf("reference run delivered %d of %d packets", ref.Delivered, ref.Packets)
+	}
+	if !strings.Contains(ref.Summary, "tenant") && !strings.Contains(ref.Summary, "port,") {
+		t.Fatalf("summary looks empty:\n%s", ref.Summary)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		params.Workers = workers
+		got, err := RunParallelScale(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Summary != ref.Summary {
+			d := firstDiff(ref.Summary, got.Summary)
+			t.Errorf("workers=%d: summary diverges from sequential at byte %d:\n seq: %.120q\n par: %.120q",
+				workers, d, tail(ref.Summary, d), tail(got.Summary, d))
+		}
+		if workers > 1 && got.Epochs == 0 {
+			t.Errorf("workers=%d: no epoch barriers crossed", workers)
+		}
+	}
+}
+
+func firstDiff(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+func tail(s string, from int) string {
+	if from > len(s) {
+		from = len(s)
+	}
+	return s[from:]
+}

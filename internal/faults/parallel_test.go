@@ -1,0 +1,102 @@
+package faults
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+// xGen streams packets from one host to a fixed destination, one every
+// 1400 ns, on the host's own island sim. Offsets 14·h+1 keep the
+// workload tie-free across island boundaries (see netsim's parallel
+// equivalence test for the construction).
+type xGen struct {
+	host      *netsim.Host
+	dst       int
+	remaining int
+	fn        func()
+}
+
+func (g *xGen) send() {
+	sim := g.host.Sim()
+	p := sim.AllocPacket()
+	p.Src, p.Dst = g.host.ID, g.dst
+	p.Size = 1500
+	g.host.Send(p)
+	g.remaining--
+	if g.remaining > 0 {
+		sim.After(1400, g.fn)
+	}
+}
+
+// runCrossIslandFault drives pod0 → pod1 traffic through a schedule
+// that kills pod0's uplink (an inter-island crossing link under the
+// parallel engine) mid-stream and restores it later. Returns the
+// fault-drop count at that port and the fabric-wide fault total.
+func runCrossIslandFault(t *testing.T, workers int) (int64, int64) {
+	t.Helper()
+	tree, err := topology.New(topology.Config{
+		Pods:           2,
+		RacksPerPod:    2,
+		ServersPerRack: 2,
+		SlotsPerServer: 4,
+		LinkBps:        10 * gbps,
+		BufferBytes:    312e3,
+		NICBufferBytes: 312e3,
+		RackOversub:    1,
+		PodOversub:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := netsim.Options{PropNs: 200}
+	var nw *netsim.Network
+	if workers == 0 {
+		nw = netsim.Build(netsim.NewSim(), tree, opts)
+	} else {
+		nw = netsim.BuildParallel(tree, opts, netsim.ParallelOptions{Workers: workers})
+	}
+	hostsPerPod := 4
+	for h := 0; h < hostsPerPod; h++ {
+		g := &xGen{host: nw.Hosts[h], dst: h + hostsPerPod, remaining: 600}
+		g.fn = g.send
+		g.host.Sim().At(int64(14*h+1), g.fn)
+		nw.Hosts[h+hostsPerPod].FreeOnDeliver = true
+	}
+
+	in := NewInjector(nw)
+	uplink := tree.PodUpPortID(0)
+	sched, err := ParseSchedule(fmt.Sprintf("t=200us link %d down, t=500us link %d up", uplink, uplink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Apply(sched); err != nil {
+		t.Fatal(err)
+	}
+	nw.Run(2_000_000)
+	return nw.Queues[uplink].Stats.FaultDroppedPkts, nw.TotalFaultDrops()
+}
+
+// TestCrossIslandFaultEquivalence is the fault-injection determinism
+// gate: a schedule that kills an inter-island link mid-epoch — losing
+// queued packets at the source island and in-flight packets metered by
+// the destination island — must produce identical FaultDroppedPkts
+// accounting on the sequential engine and at every worker count.
+func TestCrossIslandFaultEquivalence(t *testing.T) {
+	refPort, refTotal := runCrossIslandFault(t, 0)
+	if refPort == 0 {
+		t.Fatal("fault window dropped nothing at the uplink; workload too sparse")
+	}
+	if refTotal < refPort {
+		t.Fatalf("total fault drops %d < port drops %d", refTotal, refPort)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		port, total := runCrossIslandFault(t, workers)
+		if port != refPort || total != refTotal {
+			t.Errorf("workers=%d: fault accounting diverges: port=%d total=%d, want port=%d total=%d",
+				workers, port, total, refPort, refTotal)
+		}
+	}
+}

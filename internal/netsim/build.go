@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/topology"
@@ -25,10 +26,29 @@ type Options struct {
 	HostBufferBytes int
 }
 
+// ParallelOptions configures BuildParallel.
+type ParallelOptions struct {
+	// Workers is the number of island-advancing goroutines (clamped to
+	// the island count: one island per pod, plus the core).
+	Workers int
+	// CrossPropNs overrides the propagation delay of the pod↔core
+	// links that form the island cuts; it is the conservative lookahead
+	// bound, so larger values mean fewer barriers. 0 uses Options.PropNs
+	// (intra-pod links keep Options.PropNs either way).
+	CrossPropNs int64
+}
+
 // Network is an instantiated packet-level datacenter.
 type Network struct {
-	Sim   *Sim
-	Tree  *topology.Tree
+	// Sim is the scheduling surface for experiment logic: fault
+	// schedules, telemetry flushes, workload rounds. Under BuildParallel
+	// it is the ParallelSim's Global loop (events run at epoch barriers
+	// with all islands parked); host/port internals run on per-island
+	// sims instead — schedule host-side work via Host.Sim().
+	Sim  *Sim
+	Tree *topology.Tree
+	// PS is the parallel coordinator, nil for a sequential Build.
+	PS    *ParallelSim
 	Hosts []*Host
 	// Queues maps topology directed-port IDs to simulator queues, so
 	// experiments can compare analytic queue bounds against simulated
@@ -51,17 +71,69 @@ func (nw *Network) PodSwitch(p int) *Switch { return nw.podSw[p] }
 // CoreSwitch returns the aggregated core switch.
 func (nw *Network) CoreSwitch() *Switch { return nw.core }
 
-// Build instantiates the tree topology as a packet-level network.
+// Run advances the network until every event drains or the clock
+// passes until, on whichever engine built it. Returns events executed.
+func (nw *Network) Run(until int64) int {
+	if nw.PS != nil {
+		return nw.PS.Run(until)
+	}
+	return nw.Sim.Run(until)
+}
+
+// RunCtx is Run with cooperative cancellation.
+func (nw *Network) RunCtx(ctx context.Context, until int64) int {
+	if nw.PS != nil {
+		return nw.PS.RunCtx(ctx, until)
+	}
+	return nw.Sim.RunCtx(ctx, until)
+}
+
+// Build instantiates the tree topology as a packet-level network on a
+// single sequential event loop.
 func Build(sim *Sim, tree *topology.Tree, opts Options) *Network {
+	return build(tree, opts, sim, func(p int) *Sim { return sim }, nil, 0)
+}
+
+// BuildParallel instantiates the topology partitioned into islands —
+// one per pod plus one for the core — coordinated by a ParallelSim
+// with conservative lookahead equal to the pod↔core propagation delay.
+// Network.Sim is the barrier-time Global loop; Network.PS exposes the
+// coordinator. The resulting network is deterministically equivalent
+// at any worker count.
+func BuildParallel(tree *topology.Tree, opts Options, popts ParallelOptions) *Network {
+	crossProp := popts.CrossPropNs
+	if crossProp <= 0 {
+		crossProp = opts.PropNs
+	}
+	if crossProp <= 0 {
+		panic("netsim: BuildParallel needs a positive cross-link propagation delay for lookahead")
+	}
+	nIslands := tree.Pods() + 1
+	ps := NewParallelSim(nIslands, popts.Workers, crossProp)
+	nw := build(tree, opts, ps.Global, ps.Island, ps, crossProp)
+	return nw
+}
+
+// build wires the fat-tree. globalSim becomes Network.Sim; podSim maps
+// a pod to the Sim owning its hosts/ToRs/aggregation switch (the core
+// lives on ps.Island(Pods()) when ps != nil). Pod↔core links become
+// island crossings with propagation crossProp.
+func build(tree *topology.Tree, opts Options, globalSim *Sim, podSim func(p int) *Sim, ps *ParallelSim, crossProp int64) *Network {
 	nw := &Network{
-		Sim:    sim,
+		Sim:    globalSim,
 		Tree:   tree,
+		PS:     ps,
 		Hosts:  make([]*Host, tree.Servers()),
 		Queues: make([]*Queue, tree.NumPorts()),
 	}
-	cfg := tree.Config()
+	coreSim := globalSim
+	coreIsland := int32(-1)
+	if ps != nil {
+		coreSim = ps.Island(tree.Pods())
+		coreIsland = int32(tree.Pods())
+	}
 
-	mkQueue := func(port *topology.Port, name string, next Receiver) *Queue {
+	mkQueue := func(sim *Sim, port *topology.Port, name string, next Receiver) *Queue {
 		buf := int(port.BufferBytes)
 		q := NewQueue(sim, name, port.RateBps, buf, opts.PropNs, next)
 		if opts.PhantomGamma > 0 {
@@ -74,11 +146,11 @@ func Build(sim *Sim, tree *topology.Tree, opts Options) *Network {
 	}
 
 	for s := 0; s < tree.Servers(); s++ {
-		nw.Hosts[s] = NewHost(sim, s)
+		nw.Hosts[s] = NewHost(podSim(tree.PodOfServer(s)), s)
 	}
 
 	// Core switch: one aggregated multi-root.
-	core := &Switch{Name: "core"}
+	core := &Switch{Name: "core", sim: coreSim}
 	nw.core = core
 	nw.switches = append(nw.switches, core)
 	coreDown := make([]*Queue, tree.Pods())
@@ -88,7 +160,7 @@ func Build(sim *Sim, tree *topology.Tree, opts Options) *Network {
 	podUp := make([]*Queue, tree.Pods())
 	podDown := make([]*Queue, tree.Racks())
 	for p := 0; p < tree.Pods(); p++ {
-		podSw[p] = &Switch{Name: fmt.Sprintf("pod%d", p)}
+		podSw[p] = &Switch{Name: fmt.Sprintf("pod%d", p), sim: podSim(p)}
 		nw.switches = append(nw.switches, podSw[p])
 	}
 	nw.podSw = podSw
@@ -98,7 +170,7 @@ func Build(sim *Sim, tree *topology.Tree, opts Options) *Network {
 	torUp := make([]*Queue, tree.Racks())
 	torDown := make([]*Queue, tree.Servers())
 	for r := 0; r < tree.Racks(); r++ {
-		torSw[r] = &Switch{Name: fmt.Sprintf("tor%d", r)}
+		torSw[r] = &Switch{Name: fmt.Sprintf("tor%d", r), sim: podSim(tree.PodOfRack(r))}
 		nw.switches = append(nw.switches, torSw[r])
 	}
 	nw.torSw = torSw
@@ -106,9 +178,10 @@ func Build(sim *Sim, tree *topology.Tree, opts Options) *Network {
 	// Queues, wired bottom-up.
 	for s := 0; s < tree.Servers(); s++ {
 		r := tree.RackOfServer(s)
+		p := tree.PodOfRack(r)
 		// Host NIC -> ToR.
 		nicPort := tree.ServerUpPort(s)
-		nic := mkQueue(nicPort, fmt.Sprintf("nic%d", s), torSw[r])
+		nic := mkQueue(podSim(p), nicPort, fmt.Sprintf("nic%d", s), torSw[r])
 		// A host's own NIC queue backpressures the stack rather than
 		// dropping (qdisc semantics), so it is deep by default; the
 		// pacer keeps it nearly empty on paced hosts regardless.
@@ -121,16 +194,25 @@ func Build(sim *Sim, tree *topology.Tree, opts Options) *Network {
 		nic.Phantom = nil
 		nw.Hosts[s].NIC = nic
 		// ToR -> host.
-		torDown[s] = mkQueue(tree.RackDownPort(s), fmt.Sprintf("tor%d->srv%d", r, s), nw.Hosts[s])
+		torDown[s] = mkQueue(podSim(p), tree.RackDownPort(s), fmt.Sprintf("tor%d->srv%d", r, s), nw.Hosts[s])
 	}
 	for r := 0; r < tree.Racks(); r++ {
 		p := tree.PodOfRack(r)
-		torUp[r] = mkQueue(tree.RackUpPort(r), fmt.Sprintf("tor%d->pod%d", r, p), podSw[p])
-		podDown[r] = mkQueue(tree.PodDownPort(r), fmt.Sprintf("pod%d->tor%d", p, r), torSw[r])
+		torUp[r] = mkQueue(podSim(p), tree.RackUpPort(r), fmt.Sprintf("tor%d->pod%d", r, p), podSw[p])
+		podDown[r] = mkQueue(podSim(p), tree.PodDownPort(r), fmt.Sprintf("pod%d->tor%d", p, r), torSw[r])
 	}
 	for p := 0; p < tree.Pods(); p++ {
-		podUp[p] = mkQueue(tree.PodUpPort(p), fmt.Sprintf("pod%d->core", p), core)
-		coreDown[p] = mkQueue(tree.CoreDownPort(p), fmt.Sprintf("core->pod%d", p), podSw[p])
+		// The pod↔core links are the island cuts: their propagation
+		// delay is the lookahead bound, and their arrivals cross through
+		// the epoch barrier instead of the local heap.
+		podUp[p] = mkQueue(podSim(p), tree.PodUpPort(p), fmt.Sprintf("pod%d->core", p), core)
+		coreDown[p] = mkQueue(coreSim, tree.CoreDownPort(p), fmt.Sprintf("core->pod%d", p), podSw[p])
+		if ps != nil {
+			podUp[p].PropNs = crossProp
+			podUp[p].xIsland = coreIsland
+			coreDown[p].PropNs = crossProp
+			coreDown[p].xIsland = int32(p)
+		}
 	}
 
 	// Routing closures.
@@ -164,7 +246,6 @@ func Build(sim *Sim, tree *topology.Tree, opts Options) *Network {
 		}
 		return coreDown[tree.PodOfServer(dst)]
 	}
-	_ = cfg
 	return nw
 }
 

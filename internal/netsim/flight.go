@@ -40,11 +40,16 @@ func AttachFlightRecorder(nw *Network, rec *obs.FlightRecorder) *FlightTap {
 		attached:     true,
 	}
 
-	sim := nw.Sim
+	// Hooks read the clock of the sim owning the port or host (q.sim /
+	// h.sim), never nw.Sim: under a ParallelSim the global clock is
+	// parked at the epoch start while island clocks advance through it,
+	// and the recorder itself is lock-free, so the tap stays correct
+	// when hooks fire concurrently from island workers.
 	for pid, q := range nw.Queues {
 		if q == nil {
 			continue
 		}
+		q := q
 		pid32 := int32(pid)
 		prevEnq := q.OnEnqueue
 		t.prevEnqueue[pid] = prevEnq
@@ -55,7 +60,7 @@ func AttachFlightRecorder(nw *Network, rec *obs.FlightRecorder) *FlightTap {
 			if p.Void || p.ID == 0 || !rec.Sampled(p.ID) {
 				return
 			}
-			rec.Emit(obs.FlightPortEnqueue, sim.Now(), p.ID, pid32, int64(occupied), 0)
+			rec.Emit(obs.FlightPortEnqueue, q.sim.Now(), p.ID, pid32, int64(occupied), 0)
 		}
 		prevTx := q.OnTransmit
 		t.prevTransmit[pid] = prevTx
@@ -66,7 +71,7 @@ func AttachFlightRecorder(nw *Network, rec *obs.FlightRecorder) *FlightTap {
 			if p.Void || p.ID == 0 || !rec.Sampled(p.ID) {
 				return
 			}
-			rec.Emit(obs.FlightPortTx, sim.Now(), p.ID, pid32, serNs, 0)
+			rec.Emit(obs.FlightPortTx, q.sim.Now(), p.ID, pid32, serNs, 0)
 		}
 	}
 
@@ -81,7 +86,7 @@ func AttachFlightRecorder(nw *Network, rec *obs.FlightRecorder) *FlightTap {
 			if p.ID == 0 || !rec.Sampled(p.ID) {
 				return
 			}
-			rec.Emit(obs.FlightDeliver, sim.Now(), p.ID, int32(p.DstVM), delayNs, 0)
+			rec.Emit(obs.FlightDeliver, h.sim.Now(), p.ID, int32(p.DstVM), delayNs, 0)
 		}
 		prevPaced := h.OnPacedEnqueue
 		t.prevPaced[hid] = prevPaced
@@ -92,7 +97,7 @@ func AttachFlightRecorder(nw *Network, rec *obs.FlightRecorder) *FlightTap {
 			if p.Void || p.ID == 0 || !rec.Sampled(p.ID) {
 				return
 			}
-			rec.Emit(obs.FlightVMEnqueue, sim.Now(), p.ID, int32(p.SrcVM), int64(p.Size), 0)
+			rec.Emit(obs.FlightVMEnqueue, h.sim.Now(), p.ID, int32(p.SrcVM), int64(p.Size), 0)
 		}
 		prevWire := h.OnPacedWire
 		t.prevWire[hid] = prevWire

@@ -14,6 +14,9 @@ type Switch struct {
 	// Stats counts void drops at this switch.
 	Stats Counters
 
+	// sim is the island event loop the switch executes on; void frames
+	// it absorbs are recycled into that island's packet arena.
+	sim  *Sim
 	down bool
 }
 
@@ -28,6 +31,9 @@ func (sw *Switch) Receive(p *Packet) {
 	}
 	if p.Void {
 		sw.Stats.VoidDropped++
+		if sw.sim != nil {
+			sw.sim.FreePacket(p)
+		}
 		return
 	}
 	q := sw.Route(p.Dst)
@@ -73,6 +79,12 @@ type Host struct {
 	// fires only for paced packets, so instrumentation needs no "was
 	// this paced?" heuristic (a release stamp of 0 is legitimate).
 	OnPacedWire func(p *Packet)
+	// FreeOnDeliver recycles every delivered data packet into the
+	// host's island arena after OnDeliver/Deliver return. Enable only
+	// when the delivery path retains nothing (benchmarks, generator
+	// workloads); transports that keep payload references must leave
+	// it off.
+	FreeOnDeliver bool
 
 	// FaultDropped counts packets this host lost to its own failure
 	// (arrivals while down, sends attempted while down).
@@ -87,15 +99,23 @@ type Host struct {
 	// future release stamp (0 while actively batching); loopGen
 	// invalidates stale wake events when an earlier-release packet
 	// re-arms the loop.
-	parkedAt int64
-	loopGen  uint64
+	parkedAt    int64
+	loopGen     uint64
+	batchLoopFn func() // == batchLoop, bound once
 }
 
 // NewHost returns a host bound to sim; NIC must be attached before
 // sending.
 func NewHost(sim *Sim, id int) *Host {
-	return &Host{ID: id, sim: sim, vms: make(map[int]*pacer.VM)}
+	h := &Host{ID: id, sim: sim, vms: make(map[int]*pacer.VM)}
+	h.batchLoopFn = h.batchLoop
+	return h
 }
+
+// Sim returns the event loop that owns the host (the island Sim under
+// a ParallelSim). Transports and workload generators must schedule
+// host-side work here, never on a ParallelSim's global clock.
+func (h *Host) Sim() *Sim { return h.sim }
 
 // Receive implements Receiver (ingress from the ToR).
 func (h *Host) Receive(p *Packet) {
@@ -112,6 +132,9 @@ func (h *Host) Receive(p *Packet) {
 	}
 	if h.Deliver != nil {
 		h.Deliver(p)
+	}
+	if h.FreeOnDeliver {
+		h.sim.FreePacket(p)
 	}
 }
 
@@ -209,13 +232,16 @@ func (h *Host) armLoop(t int64) {
 	if now := h.sim.Now(); t < now {
 		h.parkedAt = now
 	}
-	gen := h.loopGen
-	h.sim.At(t, func() {
-		if h.loopGen != gen {
-			return // superseded by an earlier re-arm
-		}
-		h.batchLoop()
-	})
+	h.sim.schedule(t, evtHostLoop, h.loopGen, nil, nil, h, nil)
+}
+
+// wirePacket lays one batch frame on the NIC at its wire time.
+func (h *Host) wirePacket(p *Packet) {
+	p.SentAt = h.sim.Now()
+	if !p.Void && h.OnPacedWire != nil {
+		h.OnPacedWire(p)
+	}
+	h.NIC.Enqueue(p)
 }
 
 // batchLoop emulates the paper's soft-timer scheduling: build a batch,
@@ -242,24 +268,19 @@ func (h *Host) batchLoop() {
 		return
 	}
 	for _, fp := range batch.Packets {
-		fp := fp
-		h.sim.At(fp.Wire, func() {
-			if fp.Void {
-				h.NIC.Enqueue(&Packet{
-					Src: h.ID, Dst: -1, Size: fp.Bytes, Void: true,
-					SentAt: h.sim.Now(),
-				})
-				return
-			}
-			np := fp.Ref.(*Packet)
-			np.SentAt = h.sim.Now()
+		var np *Packet
+		if fp.Void {
+			np = h.sim.AllocPacket()
+			np.Src = h.ID
+			np.Dst = -1
+			np.Size = fp.Bytes
+			np.Void = true
+		} else {
+			np = fp.Ref.(*Packet)
 			np.PacedRelease = fp.Release
 			np.Gate = fp.Gate
-			if h.OnPacedWire != nil {
-				h.OnPacedWire(np)
-			}
-			h.NIC.Enqueue(np)
-		})
+		}
+		h.sim.schedule(fp.Wire, evtHostWire, 0, nil, nil, h, np)
 	}
-	h.sim.At(batch.End, h.batchLoop)
+	h.sim.At(batch.End, h.batchLoopFn)
 }

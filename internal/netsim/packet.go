@@ -36,6 +36,9 @@ type Packet struct {
 	Gate uint8
 	// Payload carries the transport segment.
 	Payload interface{}
+
+	// next links free packets in a Sim's arena (see Sim.AllocPacket).
+	next *Packet
 }
 
 // Counters aggregates per-queue statistics.

@@ -1,0 +1,307 @@
+package netsim
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sync/atomic"
+)
+
+// crossEvent is a packet arrival crossing an island boundary: packet p
+// finished propagating on crossing link q at time t (gen snapshots the
+// link's fail generation at transmit, exactly like a local evtArrive).
+type crossEvent struct {
+	t   int64
+	q   *Queue
+	p   *Packet
+	gen uint64
+}
+
+// emitCross records a cross-island arrival in the source island's
+// outbox for destination island dest. The coordinator merges outboxes
+// into destination heaps at the next epoch barrier.
+func (s *Sim) emitCross(dest int32, t int64, q *Queue, p *Packet, gen uint64) {
+	s.outbox[dest] = append(s.outbox[dest], crossEvent{t: t, q: q, p: p, gen: gen})
+}
+
+// ParallelSim runs a partitioned simulation under conservative
+// lookahead synchronization (a null-message / time-window scheme).
+//
+// The model: the network is cut into islands along links whose
+// propagation delay is at least Lookahead. Each island owns a private
+// Sim (heap, clock, arenas) and is advanced by one of Workers
+// goroutines. Time advances in epochs [T, end) with
+//
+//	end = min(hmin + Lookahead, gmin, until+1)
+//
+// where hmin is the earliest pending island event and gmin the
+// earliest pending Global event. Any packet emitted onto a crossing
+// link during the epoch departs at a time ≥ hmin and arrives at
+// departure + prop ≥ hmin + Lookahead ≥ end, so no event that could
+// still cross can land inside the epoch: every island may execute its
+// local events before end without coordination.
+//
+// Determinism is independent of Workers: each island executes its own
+// heap sequentially, and at barriers the coordinator merges cross
+// events into destination heaps in a canonical order — ascending
+// arrival time, ties broken by (source island, emission order). The
+// worker count only changes which goroutine advances which island, so
+// summaries are byte-identical at any Workers value.
+//
+// Global is a Sim whose events execute only at epoch barriers, with
+// every worker parked: fault schedules, telemetry flushes, and
+// workload round closures run there and may touch any island state
+// race-free. A Global event at time g runs once g ≤ hmin, before any
+// island event at the same timestamp.
+type ParallelSim struct {
+	// Global is the barrier-time event loop (see above). Network.Sim
+	// aliases it so injectors and telemetry attach unchanged.
+	Global *Sim
+	// Lookahead is the minimum crossing-link propagation delay in ns.
+	Lookahead int64
+	// Workers is the number of island-advancing goroutines.
+	Workers int
+
+	islands []*Sim
+
+	// Epoch barrier. The coordinator publishes epochEnd, flips phase,
+	// and spins until every worker bumps arrived; workers spin on phase.
+	// All island state handed across the barrier is ordered by these
+	// atomics.
+	phase    atomic.Uint32
+	arrived  atomic.Int32
+	epochEnd atomic.Int64
+	stopping atomic.Bool
+
+	mergeBuf []crossEvent
+	epochs   int64
+}
+
+// NewParallelSim builds a coordinator for nIslands islands advanced by
+// up to workers goroutines (clamped to [1, nIslands]). Crossing links
+// must have propagation delay ≥ lookahead; Build enforces this when it
+// assigns islands.
+func NewParallelSim(nIslands, workers int, lookahead int64) *ParallelSim {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > nIslands {
+		workers = nIslands
+	}
+	ps := &ParallelSim{
+		Global:    NewSim(),
+		Lookahead: lookahead,
+		Workers:   workers,
+		islands:   make([]*Sim, nIslands),
+	}
+	for i := range ps.islands {
+		ps.islands[i] = &Sim{
+			ps:     ps,
+			island: int32(i),
+			outbox: make([][]crossEvent, nIslands),
+		}
+	}
+	return ps
+}
+
+// Island returns island i's Sim. Build attaches each pod's (and the
+// core's) queues and hosts to their island.
+func (ps *ParallelSim) Island(i int) *Sim { return ps.islands[i] }
+
+// Islands reports the partition count.
+func (ps *ParallelSim) Islands() int { return len(ps.islands) }
+
+// Epochs reports how many epoch barriers the last Run crossed
+// (introspection for tests and scaling studies).
+func (ps *ParallelSim) Epochs() int64 { return ps.epochs }
+
+// Now returns the global clock (== every island's clock at a barrier).
+func (ps *ParallelSim) Now() int64 { return ps.Global.Now() }
+
+// Run advances the whole simulation until every heap drains or the
+// clock passes until. Returns the number of events executed across all
+// islands and the Global loop.
+func (ps *ParallelSim) Run(until int64) int {
+	return ps.RunCtx(context.Background(), until)
+}
+
+// RunCtx is Run with cooperative cancellation, polled once per epoch.
+func (ps *ParallelSim) RunCtx(ctx context.Context, until int64) int {
+	nGlobal := 0
+	startExec := int64(0)
+	for _, is := range ps.islands {
+		startExec += is.nExec
+	}
+	ps.startWorkers()
+	for {
+		select {
+		case <-ctx.Done():
+			goto done
+		default:
+		}
+		hmin := int64(math.MaxInt64)
+		for _, is := range ps.islands {
+			if t, ok := is.peek(); ok && t < hmin {
+				hmin = t
+			}
+		}
+		gmin := int64(math.MaxInt64)
+		if t, ok := ps.Global.peek(); ok {
+			gmin = t
+		}
+		if hmin == math.MaxInt64 && gmin == math.MaxInt64 {
+			break
+		}
+		if gmin <= hmin {
+			// Global events run at a barrier (workers are parked right
+			// now) and strictly before island events at the same time.
+			// Every island clock parks exactly at the event time — an
+			// island whose heap ran dry earlier is pulled forward so
+			// barrier-time code always sees one consistent clock.
+			if gmin > until {
+				break
+			}
+			for _, is := range ps.islands {
+				if is.now < gmin {
+					is.now = gmin
+				}
+			}
+			nGlobal += ps.Global.Run(gmin)
+			continue
+		}
+		if hmin > until {
+			break
+		}
+		end := hmin + ps.Lookahead
+		if gmin < end {
+			end = gmin
+		}
+		if until+1 < end {
+			end = until + 1
+		}
+		ps.runEpochParallel(end)
+		ps.exchange()
+		ps.epochs++
+		// Keep the global clock at the barrier time so Global.Now()
+		// matches every island clock between epochs (capped at until:
+		// the final epoch bound is until+1). Workers are parked here,
+		// so island-side reads of the previous value have completed;
+		// the next phase flip publishes this write.
+		if g := min(end, until); ps.Global.now < g {
+			ps.Global.now = g
+		}
+	}
+done:
+	ps.stopWorkers()
+	for _, is := range ps.islands {
+		if is.now < until {
+			is.now = until
+		}
+	}
+	if ps.Global.now < until {
+		ps.Global.now = until
+	}
+	total := int64(nGlobal) - startExec
+	for _, is := range ps.islands {
+		total += is.nExec
+	}
+	return int(total)
+}
+
+// runEpochParallel publishes the epoch bound, releases the workers,
+// and waits for all of them to park again.
+func (ps *ParallelSim) runEpochParallel(end int64) {
+	ps.epochEnd.Store(end)
+	ps.arrived.Store(0)
+	ps.phase.Add(1)
+	spinWait(func() bool { return ps.arrived.Load() == int32(ps.Workers) })
+}
+
+// exchange merges every island's outboxes into the destination heaps
+// in the canonical (arrival time, source island, emission order) order
+// and resets the outboxes. Runs on the coordinator with all workers
+// parked.
+func (ps *ParallelSim) exchange() {
+	for d, dst := range ps.islands {
+		buf := ps.mergeBuf[:0]
+		for _, src := range ps.islands {
+			out := src.outbox[d]
+			if len(out) == 0 {
+				continue
+			}
+			buf = append(buf, out...)
+			src.outbox[d] = out[:0]
+		}
+		if len(buf) == 0 {
+			continue
+		}
+		// Stable insertion sort by arrival time: appending in source
+		// island order made the buffer (source, emission)-ordered, and
+		// stability preserves that among equal times. Buffers are small
+		// and nearly sorted, so this beats sort.SliceStable and
+		// allocates nothing.
+		for i := 1; i < len(buf); i++ {
+			ce := buf[i]
+			j := i - 1
+			for j >= 0 && buf[j].t > ce.t {
+				buf[j+1] = buf[j]
+				j--
+			}
+			buf[j+1] = ce
+		}
+		for _, ce := range buf {
+			dst.schedule(ce.t, evtArrive, ce.gen, nil, ce.q, nil, ce.p)
+		}
+		ps.mergeBuf = buf[:0]
+	}
+}
+
+// startWorkers launches the per-Run worker pool. Workers advance
+// islands round-robin (worker w owns islands w, w+W, ...) so a fixed
+// island set maps to a fixed worker regardless of timing.
+func (ps *ParallelSim) startWorkers() {
+	ps.stopping.Store(false)
+	ps.arrived.Store(0)
+	for w := 0; w < ps.Workers; w++ {
+		go ps.workerLoop(w, ps.phase.Load())
+	}
+}
+
+// stopWorkers flips the stop flag and waits for every worker to exit.
+func (ps *ParallelSim) stopWorkers() {
+	ps.stopping.Store(true)
+	ps.arrived.Store(0)
+	ps.phase.Add(1)
+	spinWait(func() bool { return ps.arrived.Load() == int32(ps.Workers) })
+}
+
+func (ps *ParallelSim) workerLoop(w int, phase uint32) {
+	for {
+		spinWait(func() bool { return ps.phase.Load() != phase })
+		phase = ps.phase.Load()
+		if ps.stopping.Load() {
+			ps.arrived.Add(1)
+			return
+		}
+		end := ps.epochEnd.Load()
+		for i := w; i < len(ps.islands); i += ps.Workers {
+			ps.islands[i].runEpoch(end)
+		}
+		ps.arrived.Add(1)
+	}
+}
+
+// spinWait polls cond, yielding the processor between probes. Epochs
+// are microseconds of work, so parking on a futex (sync.Cond) would
+// dominate; but a pure spin starves co-runners on small machines, so
+// yield every iteration after a short burst.
+func spinWait(cond func() bool) {
+	for i := 0; ; i++ {
+		if cond() {
+			return
+		}
+		if i > 16 {
+			runtime.Gosched()
+		}
+	}
+}

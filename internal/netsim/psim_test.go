@@ -1,0 +1,214 @@
+package netsim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// psimGen drives one host with a tie-free packet train: start offsets
+// 14·h+1 are odd while every delay component (1400 ns gap, 1200 ns
+// serialization, 200 ns propagation) is even and 14·Δh ≢ 0 mod 200 for
+// any Δh < 100, so no two hosts' packets ever share an event time —
+// the construction the sequential-vs-parallel equivalence rests on.
+type psimGen struct {
+	host      *Host
+	dst       int
+	seq       uint64
+	remaining int
+	fn        func()
+}
+
+func (g *psimGen) send() {
+	sim := g.host.Sim()
+	p := sim.AllocPacket()
+	g.seq++
+	p.ID = uint64(g.host.ID+1)<<32 | g.seq
+	p.Src, p.Dst = g.host.ID, g.dst
+	p.SrcVM, p.DstVM = g.host.ID, g.dst
+	p.Size = 1500
+	g.host.Send(p)
+	g.remaining--
+	if g.remaining > 0 {
+		sim.After(1400, g.fn)
+	}
+}
+
+// runCrossPodWorkload runs the permutation blast (host h → h+3 mod N,
+// crossing racks and pods) on the sequential engine (workers == 0) or
+// the island engine, with a flight recorder attached, and returns the
+// network, the assembled spans, and per-host delivery counts.
+func runCrossPodWorkload(t *testing.T, workers, pkts int) (*Network, []obs.FlightSpan, []int64) {
+	t.Helper()
+	tree := testTree(t)
+	opts := Options{PropNs: 200}
+	var nw *Network
+	if workers == 0 {
+		nw = Build(NewSim(), tree, opts)
+	} else {
+		nw = BuildParallel(tree, opts, ParallelOptions{Workers: workers})
+	}
+	hosts := len(nw.Hosts)
+	deliv := make([]int64, hosts)
+	for h := range nw.Hosts {
+		h := h
+		nw.Hosts[h].OnDeliver = func(*Packet, int64) { deliv[h]++ }
+		nw.Hosts[h].FreeOnDeliver = true
+	}
+	rec := obs.NewFlightRecorder(0, 1)
+	AttachFlightRecorder(nw, rec)
+
+	gens := make([]*psimGen, hosts)
+	for h := range gens {
+		g := &psimGen{host: nw.Hosts[h], dst: (h + 3) % hosts, remaining: pkts}
+		g.fn = g.send
+		gens[h] = g
+		g.host.Sim().At(int64(14*h+1), g.fn)
+	}
+	horizon := int64(14*hosts) + int64(pkts)*1400 + 1_000_000
+	nw.Run(horizon)
+	return nw, obs.AssembleFlight(rec.Events(), nw.PortMeta()), deliv
+}
+
+// TestParallelEquivalence is the determinism gate at the engine level:
+// per-port counters, per-host deliveries, and flight-recorder span
+// attributions must be identical between the sequential simulator and
+// the island engine at every worker count.
+func TestParallelEquivalence(t *testing.T) {
+	const pkts = 200
+	refNw, refSpans, refDeliv := runCrossPodWorkload(t, 0, pkts)
+	if len(refSpans) == 0 {
+		t.Fatal("reference run recorded no flight spans")
+	}
+	var total int64
+	for _, d := range refDeliv {
+		total += d
+	}
+	if want := int64(pkts * len(refNw.Hosts)); total != want {
+		t.Fatalf("reference delivered %d packets, want %d", total, want)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		nw, spans, deliv := runCrossPodWorkload(t, workers, pkts)
+		if !reflect.DeepEqual(deliv, refDeliv) {
+			t.Errorf("workers=%d: deliveries diverge: %v vs %v", workers, deliv, refDeliv)
+		}
+		for pid := range refNw.Queues {
+			if refNw.Queues[pid].Stats != nw.Queues[pid].Stats {
+				t.Errorf("workers=%d: port %d (%s) counters diverge:\n seq: %+v\n par: %+v",
+					workers, pid, refNw.Queues[pid].Name, refNw.Queues[pid].Stats, nw.Queues[pid].Stats)
+			}
+		}
+		if !reflect.DeepEqual(spans, refSpans) {
+			t.Errorf("workers=%d: flight spans diverge (%d vs %d spans)", workers, len(spans), len(refSpans))
+		}
+	}
+}
+
+// TestGlobalEventsRunAtBarriers checks the Global loop's contract:
+// when a Global event executes, every island clock is parked exactly
+// at the event's timestamp.
+func TestGlobalEventsRunAtBarriers(t *testing.T) {
+	nw := BuildParallel(testTree(t), Options{PropNs: 200}, ParallelOptions{Workers: 2})
+	hosts := len(nw.Hosts)
+	gens := make([]*psimGen, hosts)
+	for h := range gens {
+		g := &psimGen{host: nw.Hosts[h], dst: (h + 3) % hosts, remaining: 100}
+		g.fn = g.send
+		gens[h] = g
+		g.host.Sim().At(int64(14*h+1), g.fn)
+		nw.Hosts[h].FreeOnDeliver = true
+	}
+	ticks := 0
+	nw.Sim.Every(10_000, 200_000, func(now int64) {
+		ticks++
+		if nw.Sim.Now() != now {
+			t.Errorf("global clock %d at tick %d", nw.Sim.Now(), now)
+		}
+		for i := 0; i < nw.PS.Islands(); i++ {
+			if got := nw.PS.Island(i).Now(); got != now {
+				t.Errorf("island %d clock %d at barrier, want %d", i, got, now)
+			}
+		}
+	})
+	nw.Run(400_000)
+	if ticks != 20 {
+		t.Errorf("ticks = %d, want 20", ticks)
+	}
+	if nw.PS.Epochs() == 0 {
+		t.Error("no epochs crossed")
+	}
+}
+
+// TestParallelRunCount checks Run's event accounting across engines.
+func TestParallelRunCount(t *testing.T) {
+	nwSeq, _, _ := runCrossPodWorkload(t, 0, 50)
+	nwPar, _, _ := runCrossPodWorkload(t, 2, 50)
+	_ = nwSeq
+	if nwPar.PS.Epochs() == 0 {
+		t.Fatal("parallel run crossed no epochs")
+	}
+}
+
+func TestPacketArenaReuse(t *testing.T) {
+	s := NewSim()
+	p1 := s.AllocPacket()
+	p1.ID = 7
+	p1.Size = 1500
+	p1.Payload = "retained"
+	s.FreePacket(p1)
+	p2 := s.AllocPacket()
+	if p2 != p1 {
+		t.Fatal("arena did not recycle the freed packet")
+	}
+	if p2.ID != 0 || p2.Size != 0 || p2.Payload != nil {
+		t.Fatalf("recycled packet not zeroed: %+v", p2)
+	}
+	p3 := s.AllocPacket()
+	if p3 == p2 {
+		t.Fatal("arena handed out the same packet twice")
+	}
+}
+
+// TestEveryNoAllocPerTick is the regression gate for Sim.Every's
+// rescheduling path: steady-state ticks must not allocate (the ticker
+// and its closure are created once, event nodes come from the
+// freelist).
+func TestEveryNoAllocPerTick(t *testing.T) {
+	s := NewSim()
+	ticks := 0
+	s.Every(10, 1<<40, func(int64) { ticks++ })
+	next := s.Now()
+	run := func() {
+		next += 10_000 // 1000 ticks per invocation
+		s.Run(next)
+	}
+	run() // warm: ticker allocation, event chunk, heap growth
+	avg := testing.AllocsPerRun(5, run)
+	if avg >= 1 {
+		t.Fatalf("Every allocates in steady state: %.1f allocs per 1000 ticks", avg)
+	}
+	if ticks < 6000 {
+		t.Fatalf("ticks = %d, want >= 6000", ticks)
+	}
+}
+
+// BenchmarkSimEventLoop isolates the raw event-engine cost: one op is
+// one closure event pushed through the heap and executed, with batches
+// of 1024 keeping a realistic heap depth. The freelist keeps this at
+// zero allocations per op in steady state.
+func BenchmarkSimEventLoop(b *testing.B) {
+	s := NewSim()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var now int64
+	for i := 0; i < b.N; i++ {
+		s.At(now+int64(i&1023), fn)
+		if i&1023 == 1023 {
+			now += 1024
+			s.Run(now)
+		}
+	}
+	s.Run(now + 1024)
+}

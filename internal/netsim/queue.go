@@ -1,10 +1,43 @@
 package netsim
 
-import "math"
+import (
+	"math"
+	"sync/atomic"
+)
 
 // Receiver consumes packets after link propagation.
 type Receiver interface {
 	Receive(p *Packet)
+}
+
+// pktFIFO is a growable ring of packets. Unlike an append/head-slice
+// FIFO it never abandons its backing array, so a steady-state queue
+// allocates nothing per packet.
+type pktFIFO struct {
+	buf  []*Packet
+	head int
+	n    int
+}
+
+func (f *pktFIFO) push(p *Packet) {
+	if f.n == len(f.buf) {
+		grown := make([]*Packet, max(16, 2*len(f.buf)))
+		for i := 0; i < f.n; i++ {
+			grown[i] = f.buf[(f.head+i)&(len(f.buf)-1)]
+		}
+		f.buf = grown
+		f.head = 0
+	}
+	f.buf[(f.head+f.n)&(len(f.buf)-1)] = p
+	f.n++
+}
+
+func (f *pktFIFO) pop() *Packet {
+	p := f.buf[f.head]
+	f.buf[f.head] = nil
+	f.head = (f.head + 1) & (len(f.buf) - 1)
+	f.n--
+	return p
 }
 
 // Queue is one output-queued port: a finite buffer drained at a line
@@ -44,10 +77,12 @@ type Queue struct {
 	// a failure (forced drain on Fail, arrival at a down or lossy port,
 	// in-flight loss when the link dies mid-serialization or
 	// mid-propagation). Chain like OnEnqueue/OnTransmit: preserve the
-	// previous hook and call it first.
+	// previous hook and call it first. Under a ParallelSim a crossing
+	// link's in-flight loss is metered from the destination island, so
+	// the hook must be safe to call from any island worker.
 	OnFault func(p *Packet)
 
-	fifos    [numPrios][]*Packet
+	fifos    [numPrios]pktFIFO
 	occupied int
 	busy     bool
 	// down marks a failed port: arrivals are fault-dropped, nothing
@@ -58,12 +93,27 @@ type Queue struct {
 	down    bool
 	lossy   bool
 	failGen uint64
+
+	// xIsland, when >= 0, marks a crossing link of a ParallelSim: the
+	// propagation completion is exchanged through the epoch barrier
+	// into that island instead of the local heap. The link's PropNs is
+	// then at least the lookahead bound.
+	xIsland int32
+
+	// Serialization-time memo: traffic is dominated by one frame size,
+	// so the float round trip runs once per size change, not per frame.
+	serSize int
+	serNs   int64
 }
 
 // NewQueue returns a port attached to sim.
 func NewQueue(sim *Sim, name string, rateBps float64, bufBytes int, propNs int64, next Receiver) *Queue {
-	return &Queue{sim: sim, Name: name, RateBps: rateBps, BufferBytes: bufBytes, PropNs: propNs, Next: next}
+	return &Queue{sim: sim, Name: name, RateBps: rateBps, BufferBytes: bufBytes, PropNs: propNs, Next: next, xIsland: -1}
 }
+
+// Sim returns the event loop that owns the port (the island Sim under
+// a ParallelSim).
+func (q *Queue) Sim() *Sim { return q.sim }
 
 // Occupied reports buffered bytes.
 func (q *Queue) Occupied() int { return q.occupied }
@@ -102,7 +152,7 @@ func (q *Queue) Enqueue(p *Packet) {
 	if prio < 0 || prio >= numPrios {
 		prio = numPrios - 1
 	}
-	q.fifos[prio] = append(q.fifos[prio], p)
+	q.fifos[prio].push(p)
 	q.occupied += p.Size
 	if hw := int64(q.occupied); hw > q.Stats.HighWaterBytes {
 		q.Stats.HighWaterBytes = hw
@@ -121,9 +171,8 @@ func (q *Queue) transmitNext() {
 	}
 	var p *Packet
 	for prio := 0; prio < numPrios; prio++ {
-		if len(q.fifos[prio]) > 0 {
-			p = q.fifos[prio][0]
-			q.fifos[prio] = q.fifos[prio][1:]
+		if q.fifos[prio].n > 0 {
+			p = q.fifos[prio].pop()
 			break
 		}
 	}
@@ -132,41 +181,56 @@ func (q *Queue) transmitNext() {
 		return
 	}
 	q.busy = true
-	serNs := int64(math.Round(float64(p.Size) / q.RateBps * 1e9))
+	serNs := q.serNs
+	if p.Size != q.serSize || serNs == 0 {
+		serNs = int64(math.Round(float64(p.Size) / q.RateBps * 1e9))
+		q.serSize, q.serNs = p.Size, serNs
+	}
 	if q.OnTransmit != nil {
 		q.OnTransmit(p, serNs)
 	}
-	gen := q.failGen
-	q.sim.After(serNs, func() {
-		q.occupied -= p.Size
-		if q.failGen != gen {
-			// The port failed mid-serialization; the frame is lost on
-			// the wire. Fail leaves the serializing head's bytes in
-			// occupied — the subtract above settles them here.
-			q.faultDrop(p)
-			q.transmitNext()
-			return
-		}
-		q.Stats.SentPkts++
-		q.Stats.SentBytes += int64(p.Size)
-		next := q.Next
-		prop := q.PropNs
-		q.sim.After(prop, func() {
-			if q.failGen != gen {
-				// Link died while the frame was propagating.
-				q.faultDrop(p)
-				return
-			}
-			next.Receive(p)
-		})
-		q.transmitNext()
-	})
+	q.sim.schedule(q.sim.now+serNs, evtTxDone, q.failGen, nil, q, nil, p)
 }
 
-// faultDrop meters a failure-caused loss and runs the OnFault tap.
+// txDone completes a serialization started by transmitNext.
+func (q *Queue) txDone(p *Packet, gen uint64) {
+	q.occupied -= p.Size
+	if q.failGen != gen {
+		// The port failed mid-serialization; the frame is lost on
+		// the wire. Fail leaves the serializing head's bytes in
+		// occupied — the subtract above settles them here.
+		q.faultDrop(p)
+		q.transmitNext()
+		return
+	}
+	q.Stats.SentPkts++
+	q.Stats.SentBytes += int64(p.Size)
+	if q.xIsland >= 0 {
+		q.sim.emitCross(q.xIsland, q.sim.now+q.PropNs, q, p, gen)
+	} else {
+		q.sim.schedule(q.sim.now+q.PropNs, evtArrive, gen, nil, q, nil, p)
+	}
+	q.transmitNext()
+}
+
+// arrive completes a propagation: the packet reaches q.Next unless the
+// link died while the frame was on the wire. For a crossing link this
+// runs in the destination island.
+func (q *Queue) arrive(p *Packet, gen uint64) {
+	if q.failGen != gen {
+		q.faultDrop(p)
+		return
+	}
+	q.Next.Receive(p)
+}
+
+// faultDrop meters a failure-caused loss and runs the OnFault tap. The
+// counters are updated atomically because a crossing link's in-flight
+// loss is metered by the destination island's worker while the source
+// island may be running.
 func (q *Queue) faultDrop(p *Packet) {
-	q.Stats.FaultDroppedPkts++
-	q.Stats.FaultDroppedBytes += int64(p.Size)
+	atomic.AddInt64(&q.Stats.FaultDroppedPkts, 1)
+	atomic.AddInt64(&q.Stats.FaultDroppedBytes, int64(p.Size))
 	if q.OnFault != nil {
 		q.OnFault(p)
 	}
@@ -186,14 +250,14 @@ func (q *Queue) Fail() {
 	q.down = true
 	q.failGen++
 	for prio := range q.fifos {
-		for _, p := range q.fifos[prio] {
+		for q.fifos[prio].n > 0 {
+			p := q.fifos[prio].pop()
 			q.occupied -= p.Size
 			q.faultDrop(p)
 		}
-		q.fifos[prio] = nil
 	}
 	// The serializing head-of-line packet (if any) still owns its
-	// occupied bytes; its completion closure observes the generation
+	// occupied bytes; its completion event observes the generation
 	// bump, subtracts them, and fault-drops the packet.
 }
 

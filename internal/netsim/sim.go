@@ -10,51 +10,387 @@
 // traverse, exactly as in the paper; they consume wire time on the
 // host→ToR link and nothing else.
 //
+// The event loop is allocation-free in steady state: event nodes are
+// recycled through a freelist, the queue/host hot paths schedule typed
+// events (no per-hop closures), and packets can be arena-allocated via
+// AllocPacket/FreePacket. A Sim either runs standalone (the classic
+// sequential engine) or as one island of a ParallelSim (see psim.go),
+// where inter-island packet arrivals cross through per-epoch outboxes
+// instead of the local heap.
+//
 // Time is int64 nanoseconds.
 package netsim
 
 import (
-	"container/heap"
 	"context"
+	"math"
+	"math/bits"
 )
 
-// Sim is the event loop.
-type Sim struct {
-	now    int64
-	events eventHeap
-	seq    uint64
+// Event kinds. evtFunc runs an arbitrary closure; the rest dispatch to
+// preallocated receivers so the per-packet hot path allocates nothing.
+const (
+	evtFunc uint8 = iota
+	// evtTxDone: serialization of ev.p at port ev.q completed.
+	evtTxDone
+	// evtArrive: ev.p finished propagating on ev.q's link; deliver to
+	// ev.q.Next unless the link failed since (ev.gen snapshot).
+	evtArrive
+	// evtHostWire: the pacer batch loop lays ev.p on ev.h's wire.
+	evtHostWire
+	// evtHostLoop: re-arm of ev.h's batch loop (ev.gen is the loop
+	// generation; stale wakes are ignored).
+	evtHostLoop
+)
+
+// event is one scheduled occurrence. Nodes are recycled via the Sim's
+// freelist; the typed fields keep the queue/host hot paths free of
+// per-event closures.
+type event struct {
+	seq  uint64
+	kind uint8
+	gen  uint64
+	fn   func()
+	q    *Queue
+	h    *Host
+	p    *Packet
+	next *event // slot-list / freelist link
 }
 
-// NewSim returns an empty simulator at time 0.
-func NewSim() *Sim { return &Sim{} }
+// The timestamp wheel: 1 ns buckets spanning wheelSpan ns ahead of the
+// clock. Every hot delay in the simulator — serialization (~1.2 µs for
+// a 1500 B frame at 10 Gbps), propagation (hundreds of ns), generator
+// gaps, crossing-link lookahead (a few µs) — fits the span, so the
+// per-event queue cost is a bitmap probe and a list append instead of
+// a heap sift. Events farther out (RTO timers, telemetry windows,
+// fault schedules) go to a small 4-ary overflow heap and execute from
+// there directly; they are rare enough not to matter.
+const (
+	wheelBits  = 12
+	wheelSpan  = 1 << wheelBits
+	wheelMask  = wheelSpan - 1
+	wheelWords = wheelSpan / 64
+)
+
+// heapEnt is one overflow-heap slot: the ordering key (time,
+// scheduling sequence) inline next to the node pointer, so sift
+// comparisons never dereference the node.
+type heapEnt struct {
+	t   int64
+	seq uint64
+	ev  *event
+}
+
+// Sim is the event loop: a timestamp wheel for near events plus an
+// overflow heap for far ones, totally ordered by (time, scheduling
+// sequence); an event-node freelist; and a packet arena. A Sim is
+// single-threaded; under a ParallelSim each island owns one Sim and
+// only its worker (or the coordinator, at barriers) touches it.
+type Sim struct {
+	now int64
+	seq uint64
+
+	// Wheel state. All wheel events have t in [now, now+wheelSpan), so
+	// slot t&wheelMask is unambiguous; each slot is a FIFO list, which
+	// equals seq order among equal times. bitmap marks occupied slots.
+	nWheel   int
+	bitmap   [wheelWords]uint64
+	slotHead [wheelSpan]*event
+	slotTail [wheelSpan]*event
+
+	// far holds events at least wheelSpan ahead of the clock at
+	// scheduling time, ordered by (t, seq).
+	far []heapEnt
+
+	freeEvents *event
+	freePkts   *Packet
+
+	// Parallel wiring (zero for a standalone sequential Sim).
+	ps     *ParallelSim
+	island int32
+	outbox [][]crossEvent
+	nExec  int64
+}
+
+// NewSim returns an empty standalone simulator at time 0.
+func NewSim() *Sim { return &Sim{island: -1} }
 
 // Now returns the current simulation time in ns.
 func (s *Sim) Now() int64 { return s.now }
 
-// At schedules fn at absolute time t (clamped to now).
-func (s *Sim) At(t int64, fn func()) {
+// alloc returns a zeroed event node.
+func (s *Sim) alloc() *event {
+	ev := s.freeEvents
+	if ev == nil {
+		// Carve a chunk so cold starts do one allocation per 128
+		// events instead of one each.
+		chunk := make([]event, 128)
+		for i := range chunk[:len(chunk)-1] {
+			chunk[i].next = &chunk[i+1]
+		}
+		ev = &chunk[0]
+	}
+	s.freeEvents = ev.next
+	ev.next = nil
+	return ev
+}
+
+// release returns an executed event node to the freelist.
+func (s *Sim) release(ev *event) {
+	ev.fn = nil
+	ev.q = nil
+	ev.h = nil
+	ev.p = nil
+	ev.next = s.freeEvents
+	s.freeEvents = ev
+}
+
+// AllocPacket returns a zeroed packet from the arena. Pair with
+// FreePacket on the consuming end (delivery, void absorption) to keep
+// the steady-state hot path allocation-free; unpaired packets are
+// simply reclaimed by the garbage collector.
+func (s *Sim) AllocPacket() *Packet {
+	p := s.freePkts
+	if p == nil {
+		chunk := make([]Packet, 256)
+		for i := range chunk[:len(chunk)-1] {
+			chunk[i].next = &chunk[i+1]
+		}
+		p = &chunk[0]
+		s.freePkts = chunk[0].next
+	} else {
+		s.freePkts = p.next
+	}
+	*p = Packet{}
+	return p
+}
+
+// FreePacket recycles p into the arena. The caller must be done with
+// every field, including Payload.
+func (s *Sim) FreePacket(p *Packet) {
+	if p == nil {
+		return
+	}
+	p.Payload = nil
+	p.next = s.freePkts
+	s.freePkts = p
+}
+
+// wheelNext returns the earliest wheel event's absolute time, or
+// MaxInt64 when the wheel is empty. Wheel times live in
+// [now, now+wheelSpan): slots at or after slot(now) belong to now's
+// 4096 ns block, slots before it wrapped into the next block.
+func (s *Sim) wheelNext() int64 {
+	if s.nWheel == 0 {
+		return math.MaxInt64
+	}
+	start := s.now & wheelMask
+	base := s.now - start
+	w0 := int(start >> 6)
+	b0 := uint(start & 63)
+	if word := s.bitmap[w0] >> b0; word != 0 {
+		return base + int64(w0<<6) + int64(b0) + int64(bits.TrailingZeros64(word))
+	}
+	for w := w0 + 1; w < wheelWords; w++ {
+		if word := s.bitmap[w]; word != 0 {
+			return base + int64(w<<6) + int64(bits.TrailingZeros64(word))
+		}
+	}
+	for w := 0; w < w0; w++ {
+		if word := s.bitmap[w]; word != 0 {
+			return base + wheelSpan + int64(w<<6) + int64(bits.TrailingZeros64(word))
+		}
+	}
+	if word := s.bitmap[w0] & (1<<b0 - 1); word != 0 {
+		return base + wheelSpan + int64(w0<<6) + int64(bits.TrailingZeros64(word))
+	}
+	return math.MaxInt64
+}
+
+// popSlot detaches and returns the head of slot's FIFO list.
+func (s *Sim) popSlot(slot int64) *event {
+	ev := s.slotHead[slot]
+	if next := ev.next; next != nil {
+		s.slotHead[slot] = next
+	} else {
+		s.slotHead[slot] = nil
+		s.slotTail[slot] = nil
+		s.bitmap[slot>>6] &^= 1 << uint(slot&63)
+	}
+	ev.next = nil
+	s.nWheel--
+	return ev
+}
+
+// farPush inserts ev at key (t, seq) into the overflow heap (4-ary:
+// half the sift depth of a binary heap, children cache-adjacent).
+func (s *Sim) farPush(t int64, seq uint64, ev *event) {
+	h := append(s.far, heapEnt{})
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		pe := h[parent]
+		if pe.t < t || (pe.t == t && pe.seq < seq) {
+			break
+		}
+		h[i] = pe
+		i = parent
+	}
+	h[i] = heapEnt{t: t, seq: seq, ev: ev}
+	s.far = h
+}
+
+// farPop removes and returns the overflow heap's earliest event; the
+// heap must be non-empty.
+func (s *Sim) farPop() *event {
+	h := s.far
+	top := h[0].ev
+	n := len(h) - 1
+	last := h[n]
+	h[n] = heapEnt{}
+	h = h[:n]
+	s.far = h
+	if n > 0 {
+		i := 0
+		for {
+			c := 4*i + 1
+			if c >= n {
+				break
+			}
+			m := h[c]
+			hi := c + 4
+			if hi > n {
+				hi = n
+			}
+			for j := c + 1; j < hi; j++ {
+				if cj := h[j]; cj.t < m.t || (cj.t == m.t && cj.seq < m.seq) {
+					c, m = j, cj
+				}
+			}
+			if last.t < m.t || (last.t == m.t && last.seq < m.seq) {
+				break
+			}
+			h[i] = m
+			i = c
+		}
+		h[i] = last
+	}
+	return top
+}
+
+// peek returns the earliest pending event time without removing it.
+func (s *Sim) peek() (int64, bool) {
+	wt := s.wheelNext()
+	if len(s.far) > 0 && s.far[0].t < wt {
+		return s.far[0].t, true
+	}
+	if wt == math.MaxInt64 {
+		return 0, false
+	}
+	return wt, true
+}
+
+// schedule queues a typed event at absolute time t (clamped to now):
+// near events append to their wheel slot (FIFO == seq order among
+// equal times), far ones go to the overflow heap.
+func (s *Sim) schedule(t int64, kind uint8, gen uint64, fn func(), q *Queue, h *Host, p *Packet) {
 	if t < s.now {
 		t = s.now
 	}
-	heap.Push(&s.events, &event{t: t, seq: s.seq, fn: fn})
+	ev := s.alloc()
+	ev.seq = s.seq
 	s.seq++
+	ev.kind = kind
+	ev.gen = gen
+	ev.fn = fn
+	ev.q = q
+	ev.h = h
+	ev.p = p
+	if t-s.now < wheelSpan {
+		slot := t & wheelMask
+		if tail := s.slotTail[slot]; tail != nil {
+			tail.next = ev
+		} else {
+			s.slotHead[slot] = ev
+			s.bitmap[slot>>6] |= 1 << uint(slot&63)
+		}
+		s.slotTail[slot] = ev
+		s.nWheel++
+	} else {
+		s.farPush(t, ev.seq, ev)
+	}
+}
+
+// At schedules fn at absolute time t (clamped to now).
+func (s *Sim) At(t int64, fn func()) {
+	s.schedule(t, evtFunc, 0, fn, nil, nil, nil)
 }
 
 // After schedules fn after d nanoseconds.
 func (s *Sim) After(d int64, fn func()) { s.At(s.now+d, fn) }
 
+// exec dispatches one event and recycles its node.
+func (s *Sim) exec(ev *event) {
+	switch ev.kind {
+	case evtFunc:
+		fn := ev.fn
+		s.release(ev)
+		fn()
+		return
+	case evtTxDone:
+		q, p, gen := ev.q, ev.p, ev.gen
+		s.release(ev)
+		q.txDone(p, gen)
+	case evtArrive:
+		q, p, gen := ev.q, ev.p, ev.gen
+		s.release(ev)
+		q.arrive(p, gen)
+	case evtHostWire:
+		h, p := ev.h, ev.p
+		s.release(ev)
+		h.wirePacket(p)
+	case evtHostLoop:
+		h, gen := ev.h, ev.gen
+		s.release(ev)
+		if h.loopGen == gen {
+			h.batchLoop()
+		}
+	}
+}
+
+// step pops and executes the earliest pending event if its time is at
+// most limit (or strictly below limit when strict is set); it reports
+// whether an event ran. The wheel and the overflow heap are merged on
+// (t, seq), so execution order is identical to a single totally
+// ordered queue.
+func (s *Sim) step(limit int64, strict bool) bool {
+	t := s.wheelNext()
+	var ev *event
+	if len(s.far) > 0 {
+		ft := s.far[0]
+		if ft.t < t || (ft.t == t && ft.seq < s.slotHead[t&wheelMask].seq) {
+			if ft.t > limit || (strict && ft.t == limit) {
+				return false
+			}
+			ev, t = s.farPop(), ft.t
+		}
+	}
+	if ev == nil {
+		if t > limit || (strict && t == limit) || t == math.MaxInt64 {
+			return false
+		}
+		ev = s.popSlot(t & wheelMask)
+	}
+	s.now = t
+	s.exec(ev)
+	return true
+}
+
 // Run executes events until the queue drains or the clock passes
 // until. Returns the number of events executed.
 func (s *Sim) Run(until int64) int {
 	n := 0
-	for s.events.Len() > 0 {
-		ev := s.events[0]
-		if ev.t > until {
-			break
-		}
-		heap.Pop(&s.events)
-		s.now = ev.t
-		ev.fn()
+	for s.step(until, false) {
 		n++
 	}
 	if s.now < until {
@@ -71,7 +407,7 @@ func (s *Sim) Run(until int64) int {
 // events executed.
 func (s *Sim) RunCtx(ctx context.Context, until int64) int {
 	n := 0
-	for s.events.Len() > 0 {
+	for {
 		if n&255 == 0 {
 			select {
 			case <-ctx.Done():
@@ -79,13 +415,9 @@ func (s *Sim) RunCtx(ctx context.Context, until int64) int {
 			default:
 			}
 		}
-		ev := s.events[0]
-		if ev.t > until {
+		if !s.step(until, false) {
 			break
 		}
-		heap.Pop(&s.events)
-		s.now = ev.t
-		ev.fn()
 		n++
 	}
 	if s.now < until {
@@ -94,54 +426,60 @@ func (s *Sim) RunCtx(ctx context.Context, until int64) int {
 	return n
 }
 
+// runEpoch executes every event strictly before end and parks the
+// clock at end. Used by the parallel engine; end is the conservative
+// lookahead bound, so no event before it can still arrive.
+func (s *Sim) runEpoch(end int64) {
+	n := int64(0)
+	for s.step(end, true) {
+		n++
+	}
+	s.nExec += n
+	if s.now < end {
+		s.now = end
+	}
+}
+
+// ticker is Every's reusable rescheduling state: one ticker and one
+// bound closure serve every tick, so a periodic flush costs zero
+// allocations per tick in steady state.
+type ticker struct {
+	s      *Sim
+	period int64
+	until  int64
+	next   int64
+	fn     func(nowNs int64)
+	tickFn func() // == tick, bound once
+}
+
+func (tk *ticker) tick() {
+	t := tk.next
+	tk.fn(t)
+	tk.next = t + tk.period
+	if tk.next <= tk.until {
+		tk.s.At(tk.next, tk.tickFn)
+	}
+}
+
 // Every schedules fn at now+period, now+2·period, ... for every tick
 // not after untilNs. This is the clock-driven flush hook behind the
 // continuous-telemetry rollup: the time-series capture and the SLO
 // window flush ride the simulated clock, never the wall clock. The
 // stop time is explicit so an idle simulation can still drain its
-// event heap.
+// event heap. The rescheduling closure is allocated once up front,
+// not per tick.
 func (s *Sim) Every(periodNs, untilNs int64, fn func(nowNs int64)) {
 	if periodNs <= 0 || fn == nil {
 		return
 	}
-	var schedule func(t int64)
-	schedule = func(t int64) {
-		if t > untilNs {
-			return
-		}
-		s.At(t, func() {
-			fn(t)
-			schedule(t + periodNs)
-		})
+	first := s.now + periodNs
+	if first > untilNs {
+		return
 	}
-	schedule(s.now + periodNs)
+	tk := &ticker{s: s, period: periodNs, until: untilNs, next: first, fn: fn}
+	tk.tickFn = tk.tick
+	s.At(first, tk.tickFn)
 }
 
 // Pending reports queued events.
-func (s *Sim) Pending() int { return s.events.Len() }
-
-type event struct {
-	t   int64
-	seq uint64
-	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
+func (s *Sim) Pending() int { return s.nWheel + len(s.far) }

@@ -31,6 +31,10 @@ type HopEvent struct {
 // per tenant in place via Host.OnDeliver, and queue high-water marks
 // are maintained unconditionally in Queue.Enqueue. Neither touches
 // OnEnqueue, so the tracer composes with them freely.
+//
+// The tracer's hop map is unsynchronized: attach it to sequential
+// builds only (or run a ParallelSim with one worker). The flight
+// recorder, whose rings are lock-free, is the parallel-safe path tool.
 type Tracer struct {
 	nw     *Network
 	filter func(*Packet) bool
@@ -92,7 +96,7 @@ func AttachTracer(nw *Network, filter func(*Packet) bool) *Tracer {
 			if !seen {
 				hops = t.newHopSlice()
 			}
-			t.hops[p.ID] = append(hops, HopEvent{PortID: pid, At: nw.Sim.Now(), OccupiedBytes: occ})
+			t.hops[p.ID] = append(hops, HopEvent{PortID: pid, At: q.sim.Now(), OccupiedBytes: occ})
 		}
 	}
 	return t

@@ -6,12 +6,23 @@ import (
 	"repro/internal/netsim"
 )
 
-// Endpoint is one VM's transport stack.
+// Endpoint is one VM's transport stack. All of its state — connection
+// windows, receive reassembly, ID counters — belongs to the island Sim
+// of its host; under a ParallelSim only that island's worker (or the
+// coordinator at barriers) may touch it.
 type Endpoint struct {
 	f      *Fabric
 	VMID   int
 	HostID int
+	host   *netsim.Host
+	sim    *netsim.Sim
 	opt    Options
+
+	// idBase is VMID+1 shifted into the high word; message and packet
+	// IDs are idBase | counter, unique without fabric-wide state.
+	idBase    uint64
+	nextPkt   uint64
+	nextMsgID uint64
 
 	conns map[int]*Conn     // by remote VM (sender side)
 	rcv   map[int]*rcvState // by remote VM (receiver side)
@@ -51,6 +62,9 @@ type rcvState struct {
 	// pending tracks message frames whose completion has not yet been
 	// delivered to the application, keyed by message ID.
 	pending map[uint64]pendingMsg
+	// doneScratch is reused across drains for the sorted completion
+	// pass in onData.
+	doneScratch []uint64
 }
 
 // pendingMsg is a message frame awaiting receiver-side completion.
@@ -110,14 +124,13 @@ func newConn(e *Endpoint, dstVM int) *Conn {
 }
 
 func (c *Conn) sendMessage(size int, done func(*Message)) *Message {
-	f := c.e.f
-	f.nextMsgID++
+	c.e.nextMsgID++
 	m := &Message{
-		ID:        f.nextMsgID,
+		ID:        c.e.idBase | c.e.nextMsgID,
 		SrcVM:     c.e.VMID,
 		DstVM:     c.dstVM,
 		Size:      size,
-		Submitted: f.sim().Now(),
+		Submitted: c.e.sim.Now(),
 		start:     c.writeEnd,
 		end:       c.writeEnd + int64(size),
 		done:      done,
@@ -156,7 +169,7 @@ func (c *Conn) emit(seq int64, n int) {
 		peerVM: c.e.VMID,
 		seq:    seq,
 		length: n,
-		sentAt: f.sim().Now(),
+		sentAt: c.e.sim.Now(),
 	}
 	// Attach framing for the message this segment belongs to.
 	for _, m := range c.msgs {
@@ -184,7 +197,7 @@ func (c *Conn) emit(seq int64, n int) {
 func (c *Conn) onAck(seg *segment) {
 	opt := c.e.opt
 	mss := float64(opt.MSS)
-	now := c.e.f.sim().Now()
+	now := c.e.sim.Now()
 
 	// RTT sample from the echoed send time.
 	if seg.sentAt > 0 {
@@ -324,7 +337,9 @@ func (c *Conn) armRTO() {
 	if max := int64(4_000_000_000); timeout > max {
 		timeout = max
 	}
-	c.e.f.sim().After(timeout, func() {
+	// The retransmission timer lives on the sender host's island sim,
+	// like every other touch of this connection's state.
+	c.e.sim.After(timeout, func() {
 		if c.rtoGen != gen || !c.rtoArmed {
 			return
 		}

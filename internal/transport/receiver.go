@@ -1,6 +1,10 @@
 package transport
 
-import "repro/internal/netsim"
+import (
+	"sort"
+
+	"repro/internal/netsim"
+)
 
 // onData processes an arriving data segment at the receiver: update
 // the reassembly state and return a cumulative ack. DCTCP's exact echo
@@ -55,16 +59,26 @@ func (e *Endpoint) onData(p *netsim.Packet, seg *segment) {
 			rs.bytesIn += oend - rs.rcvNxt
 			rs.rcvNxt = oend
 		}
-		// Deliver messages whose final byte has now arrived.
+		// Deliver messages whose final byte has now arrived, in message
+		// ID order: map iteration order is random, and a single drain can
+		// complete several messages at once, so sorting keeps callback
+		// order (and anything the application emits from it) deterministic.
 		if len(rs.pending) > 0 {
+			done := rs.doneScratch[:0]
 			for id, pm := range rs.pending {
 				if pm.end <= rs.rcvNxt {
-					delete(rs.pending, id)
-					if e.OnMessage != nil {
-						e.OnMessage(seg.peerVM, id, pm.size)
-					}
+					done = append(done, id)
 				}
 			}
+			sort.Slice(done, func(i, j int) bool { return done[i] < done[j] })
+			for _, id := range done {
+				pm := rs.pending[id]
+				delete(rs.pending, id)
+				if e.OnMessage != nil {
+					e.OnMessage(seg.peerVM, id, pm.size)
+				}
+			}
+			rs.doneScratch = done[:0]
 		}
 	default:
 		// Out of order: buffer (keep the longest range per start).

@@ -106,11 +106,17 @@ func (m *Message) Latency() int64 { return m.Completed - m.Submitted }
 
 // Fabric wires transport endpoints to simulator hosts and demuxes
 // deliveries by destination VM.
+//
+// Every clock read, timer, and ID counter is per-endpoint and runs on
+// the endpoint host's own Sim, so a fabric over a parallel-built
+// network needs no locks: a delivery executes on the destination
+// host's island, acks are emitted from the receiver's island, and a
+// connection's sender state is only ever touched by its own island's
+// worker (or at epoch barriers, for SendMessage calls scheduled on the
+// global loop).
 type Fabric struct {
 	nw        *netsim.Network
 	endpoints map[int]*Endpoint
-	nextMsgID uint64
-	nextPkt   uint64
 }
 
 // NewFabric attaches to a network, taking over every host's Deliver
@@ -133,10 +139,14 @@ func (f *Fabric) Endpoint(vmID int) (*Endpoint, bool) {
 // AddEndpoint registers a VM endpoint on a host.
 func (f *Fabric) AddEndpoint(vmID, hostID int, opt Options) *Endpoint {
 	opt.fill()
+	h := f.nw.Hosts[hostID]
 	e := &Endpoint{
 		f:      f,
 		VMID:   vmID,
 		HostID: hostID,
+		host:   h,
+		sim:    h.Sim(),
+		idBase: uint64(vmID+1) << 32,
 		opt:    opt,
 		conns:  make(map[int]*Conn),
 		rcv:    make(map[int]*rcvState),
@@ -145,18 +155,18 @@ func (f *Fabric) AddEndpoint(vmID, hostID int, opt Options) *Endpoint {
 	return e
 }
 
-func (f *Fabric) sim() *netsim.Sim { return f.nw.Sim }
-
-// send injects a packet from an endpoint's host, paced or not.
+// send injects a packet from an endpoint's host, paced or not. Packet
+// IDs are endpoint-scoped — high 32 bits identify the VM, low 32 count
+// its emissions — so they are unique fabric-wide and identical at any
+// worker count without a shared counter.
 func (f *Fabric) send(e *Endpoint, p *netsim.Packet) {
-	f.nextPkt++
-	p.ID = f.nextPkt
-	h := f.nw.Hosts[e.HostID]
-	if e.opt.Paced && h.Paced() {
-		h.SendPaced(e.VMID, p)
+	e.nextPkt++
+	p.ID = e.idBase | e.nextPkt
+	if e.opt.Paced && e.host.Paced() {
+		e.host.SendPaced(e.VMID, p)
 		return
 	}
-	h.Send(p)
+	e.host.Send(p)
 }
 
 // deliver demuxes an arriving packet to its destination endpoint.
