@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all ci vet build test test-race test-faults test-parallel bench-placement bench-obs bench-telemetry regress baselines
+.PHONY: all ci vet build test test-race test-faults test-parallel bench-placement bench-obs bench-telemetry bench-introspect regress baselines
 
 all: vet build test
 
@@ -54,6 +54,11 @@ bench-obs:
 bench-telemetry:
 	$(GO) test -run '^$$' -bench 'BenchmarkCapture|BenchmarkFlush' -benchmem ./internal/obs/timeseries/ ./internal/obs/slo/
 
+# Asserts the introspection plane (per-port headroom taps + envelope
+# estimators) costs zero allocations per packet on the hot path.
+bench-introspect:
+	$(GO) test -run '^$$' -bench BenchmarkIntrospectOverhead -benchmem .
+
 # Runs the microbenchmarks and compares them against the committed
 # BENCH_*.json baselines; exits non-zero on regression.
 regress:
@@ -62,4 +67,4 @@ regress:
 # Regenerates the committed microbenchmark baselines in place. Run on a
 # quiet machine and commit the diff deliberately.
 baselines:
-	$(GO) run ./cmd/silo-bench -run placeub,pacerub,netsimub,netsimpar -bench-json .
+	$(GO) run ./cmd/silo-bench -run placeub,pacerub,netsimub,netsimpar,introspectub -bench-json .

@@ -12,7 +12,7 @@
 //
 // Experiments: fig1, table1, fig5, fig10, fig11, fig12 (also emits
 // fig13, fig14 and table4), fig15, fig16a, fig16b, placeub, pacerub,
-// netsimub, netsimpar.
+// netsimub, netsimpar, introspectub.
 package main
 
 import (
@@ -48,10 +48,11 @@ var benchRecords = map[string]experiments.BenchRecord{}
 // benchBaseline maps each microbenchmark to its committed baseline
 // file name.
 var benchBaseline = map[string]string{
-	"placeub":   "BENCH_placement.json",
-	"pacerub":   "BENCH_pacer.json",
-	"netsimub":  "BENCH_netsim.json",
-	"netsimpar": "BENCH_netsim_parallel.json",
+	"placeub":      "BENCH_placement.json",
+	"pacerub":      "BENCH_pacer.json",
+	"netsimub":     "BENCH_netsim.json",
+	"netsimpar":    "BENCH_netsim_parallel.json",
+	"introspectub": "BENCH_introspect.json",
 }
 
 // noteBenchRecord stores a microbenchmark record and writes it out if
@@ -87,7 +88,7 @@ func writeCSV(name string, header []string, rows [][]float64) {
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "experiment to run (all|fig1|table1|fig5|fig10|fig11|fig12|fig15|fig16a|fig16b|placeub|pacerub|netsimub|netsimpar|parscale|besteffort|burststress|faultdrill)")
+		run      = flag.String("run", "all", "experiment to run (all|fig1|table1|fig5|fig10|fig11|fig12|fig15|fig16a|fig16b|placeub|pacerub|netsimub|netsimpar|introspectub|parscale|besteffort|burststress|faultdrill)")
 		workers  = flag.Int("workers", 0, "island worker count for the parallel-simulator microbenchmark (0 = its default, 8)")
 		duration = flag.Float64("duration", 0, "override simulated seconds for packet-level experiments")
 		requests = flag.Int("requests", 0, "override request count for the placement microbenchmark")
@@ -138,25 +139,26 @@ func main() {
 	}
 
 	runners := map[string]func() error{
-		"fig1":        func() error { return runFig1(*duration, *seed) },
-		"table1":      func() error { return runTable1(*seed) },
-		"fig5":        runFig5,
-		"fig10":       runFig10,
-		"fig11":       func() error { return runFig11(*duration, *seed) },
-		"fig12":       func() error { return runFig12(*duration, *seed) },
-		"fig15":       func() error { return runFig15(*seed) },
-		"fig16a":      func() error { return runFig16a(*seed) },
-		"fig16b":      func() error { return runFig16b(*seed) },
-		"placeub":     func() error { return runPlaceUB(*requests, *seed) },
-		"pacerub":     runPacerUB,
-		"netsimub":    runNetsimUB,
-		"netsimpar":   func() error { return runNetsimParUB(*workers) },
-		"parscale":    runParallelScale,
-		"besteffort":  func() error { return runBestEffort(*duration, *seed) },
-		"burststress": runBurstStressCmd,
-		"faultdrill":  func() error { return runFaultDrill(*seed) },
+		"fig1":         func() error { return runFig1(*duration, *seed) },
+		"table1":       func() error { return runTable1(*seed) },
+		"fig5":         runFig5,
+		"fig10":        runFig10,
+		"fig11":        func() error { return runFig11(*duration, *seed) },
+		"fig12":        func() error { return runFig12(*duration, *seed) },
+		"fig15":        func() error { return runFig15(*seed) },
+		"fig16a":       func() error { return runFig16a(*seed) },
+		"fig16b":       func() error { return runFig16b(*seed) },
+		"placeub":      func() error { return runPlaceUB(*requests, *seed) },
+		"pacerub":      runPacerUB,
+		"netsimub":     runNetsimUB,
+		"netsimpar":    func() error { return runNetsimParUB(*workers) },
+		"introspectub": runIntrospectUB,
+		"parscale":     runParallelScale,
+		"besteffort":   func() error { return runBestEffort(*duration, *seed) },
+		"burststress":  runBurstStressCmd,
+		"faultdrill":   func() error { return runFaultDrill(*seed) },
 	}
-	order := []string{"fig1", "table1", "fig5", "fig10", "fig11", "fig12", "fig15", "fig16a", "fig16b", "placeub", "pacerub", "netsimub", "netsimpar", "parscale", "besteffort", "burststress", "faultdrill"}
+	order := []string{"fig1", "table1", "fig5", "fig10", "fig11", "fig12", "fig15", "fig16a", "fig16b", "placeub", "pacerub", "netsimub", "netsimpar", "introspectub", "parscale", "besteffort", "burststress", "faultdrill"}
 
 	names := strings.Split(*run, ",")
 	if *run == "all" {
@@ -164,7 +166,7 @@ func main() {
 		if *regress {
 			// The regression gate only needs the record-producing
 			// microbenchmarks.
-			names = []string{"placeub", "pacerub", "netsimub", "netsimpar"}
+			names = []string{"placeub", "pacerub", "netsimub", "netsimpar", "introspectub"}
 		}
 	}
 	for _, name := range names {
@@ -576,6 +578,16 @@ func runParallelScale() error {
 	}
 	fmt.Println("summaries byte-identical across the sequential engine and every worker count")
 	return nil
+}
+
+func runIntrospectUB() error {
+	fmt.Println("Introspection-overhead microbenchmark — netsimub workload with headroom taps and envelope estimators attached:")
+	rec, err := experiments.RunIntrospectBench(experiments.DefaultIntrospectBenchParams())
+	if err != nil {
+		return err
+	}
+	fmt.Print(rec.Render())
+	return noteBenchRecord(rec)
 }
 
 func runNetsimUB() error {

@@ -9,6 +9,11 @@
 //
 // A second placer (-algo oktopus|locality) allows side-by-side
 // comparison of admission decisions.
+//
+// With -explain N (silo only), the admission journal explains tenant
+// N's decision after the stream runs: every crossed port's cut and
+// margin for an accept, or the violated constraint and limiting port
+// for a reject. -explain -1 explains every rejected tenant.
 package main
 
 import (
@@ -37,6 +42,7 @@ func main() {
 		oversub  = flag.Float64("oversub", 5, "oversubscription per level")
 		algo     = flag.String("algo", "silo", "placement algorithm (silo|oktopus|locality)")
 		workers  = flag.Int("workers", 0, "scope-search goroutines for silo (0 = GOMAXPROCS, 1 = serial; decisions are identical at any setting)")
+		explain  = flag.Int("explain", 0, "explain tenant N's admission decision from the journal after the run (-1 = every rejected tenant; silo only)")
 
 		tenants = flag.Int("tenants", 20, "number of tenant requests")
 		vms     = flag.Int("vms", 16, "VMs per tenant")
@@ -96,6 +102,9 @@ func main() {
 	case "silo":
 		m := placement.NewManager(tree, placement.Options{Workers: *workers})
 		m.EnableMetrics(reg)
+		if *explain != 0 {
+			m.EnableJournal(0)
+		}
 		placer = m
 	case "oktopus":
 		placer = placement.NewOktopus(tree)
@@ -121,6 +130,7 @@ func main() {
 
 	rng := stats.NewRand(*seed)
 	accepted := 0
+	var rejectedIDs []int
 	for i := 0; i < *tenants; i++ {
 		n := *vms
 		if n <= 0 {
@@ -130,6 +140,7 @@ func main() {
 		pl, err := placer.Place(spec)
 		if err != nil {
 			fmt.Printf("tenant-%-3d REJECTED: %v\n", i+1, err)
+			rejectedIDs = append(rejectedIDs, i+1)
 			continue
 		}
 		accepted++
@@ -185,6 +196,16 @@ func main() {
 			port := tree.Port(w.id)
 			fmt.Printf("  port %-4d %-6s/%-4s bound=%7.1fµs capacity=%7.1fµs\n",
 				w.id, port.Level, port.Dir, w.bound*1e6, port.QueueCapacity()*1e6)
+		}
+
+		if *explain != 0 {
+			ids := []int{*explain}
+			if *explain < 0 {
+				ids = rejectedIDs
+			}
+			for _, id := range ids {
+				fmt.Printf("\n-- explain tenant-%d --\n%s", id, m.Explain(id))
+			}
 		}
 	}
 	if err := finishObs(); err != nil {

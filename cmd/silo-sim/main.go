@@ -31,6 +31,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/obs/dashboard"
+	"repro/internal/obs/introspect"
 	"repro/internal/obs/slo"
 	"repro/internal/obs/timeseries"
 	"repro/internal/pacer"
@@ -59,6 +60,7 @@ func main() {
 		traceOut    = flag.String("trace", "", "record a flight trace and write it on exit (*.json = Chrome trace_event for Perfetto + silo-trace, *.csv = compact spans)")
 		traceSample = flag.Int("trace-sample", 1, "flight-trace sampling divisor: record 1 in N packets (rounded up to a power of two)")
 		sloReport   = flag.Bool("slo-report", false, "print the per-tenant SLO conformance and burn-rate report after the run")
+		introOut    = flag.String("introspect", "", "attach the introspection plane (per-VM envelope estimators, per-port guarantee margins) and write its snapshot as JSON to this file on exit (join with silo-trace -why)")
 		seriesOut   = flag.String("series", "", "write the dashboard time-series payload (metrics rollup + SLO state) as JSON to this file on exit")
 		windowMs    = flag.Float64("window", 1, "SLO / time-series window in simulated milliseconds")
 		faultSched  = flag.String("fault", "", "fault schedule, e.g. \"t=20ms link 14 down; t=30ms up\" or \"t=20ms switch tor0 down\" (targets: link PORT, switch core|podN|torN, host ID; actions: down, up, gray DUR, flap NxDOWN/UP)")
@@ -70,7 +72,7 @@ func main() {
 	// Validate output destinations before the run, so a typo'd path
 	// fails in milliseconds instead of after the simulation.
 	for _, f := range []struct{ name, path string }{
-		{"-metrics", *metricsOut}, {"-trace", *traceOut}, {"-series", *seriesOut},
+		{"-metrics", *metricsOut}, {"-trace", *traceOut}, {"-series", *seriesOut}, {"-introspect", *introOut},
 	} {
 		if err := obs.ValidateOutputPath(f.name, f.path); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -187,6 +189,26 @@ func main() {
 	if *traceOut != "" {
 		flight = obs.NewFlightRecorder(0, *traceSample)
 		netsim.AttachFlightRecorder(nw, flight)
+	}
+
+	// The introspection plane: envelope estimators on every VM of both
+	// tenants (pacer commit taps when paced, NIC arrivals otherwise) and
+	// guarantee-margin watches on every port, with bounds from the
+	// admitted set when the placer is the full Manager. Bounds reflect
+	// admission at attach time; a mid-run fault that loosens them shows
+	// up as a negative margin, which is the point.
+	var intro *introspect.Introspector
+	if *introOut != "" {
+		intro = introspect.Attach(nw, reg, introspect.Config{})
+		for _, d := range []*experiments.Deployment{depA, depB} {
+			adm := introspect.Envelope{RateBps: d.Spec.Guarantee.BandwidthBps, BurstBytes: d.Spec.Guarantee.BurstBytes}
+			for i, vmID := range d.VMIDs {
+				intro.TrackVM(d.Placement.Servers[i], vmID, d.Spec.ID, adm)
+			}
+		}
+		if mgr, ok := placer.(*placement.Manager); ok {
+			intro.BindPlacement(mgr)
+		}
 	}
 
 	if scheme.Paced() {
@@ -395,6 +417,16 @@ func main() {
 	if *sloReport {
 		fmt.Println()
 		fmt.Print(engine.RenderReport())
+	}
+	if intro != nil {
+		snap := intro.Snapshot()
+		fmt.Println()
+		fmt.Print(snap.Render())
+		if err := snap.WriteFile(*introOut); err != nil {
+			fmt.Fprintf(os.Stderr, "-introspect: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("introspection snapshot written to %s (join with silo-trace -why)\n", *introOut)
 	}
 	if *seriesOut != "" {
 		f, err := os.Create(*seriesOut)

@@ -270,6 +270,7 @@ type benchGen struct {
 	size      int
 	remaining int
 	gapNs     int64
+	srcVM     int
 	fn        func() // == send, bound once
 }
 
@@ -277,6 +278,7 @@ func (g *benchGen) send() {
 	sim := g.host.Sim()
 	p := sim.AllocPacket()
 	p.Src = g.host.ID
+	p.SrcVM = g.srcVM
 	p.Dst = g.dst
 	p.Size = g.size
 	g.host.Send(p)

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/obs/introspect"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// IntrospectBenchParams configures the introspection-overhead
+// microbenchmark ("introspectub"): the netsimub permutation blast run
+// with the full introspection plane attached — per-queue headroom taps
+// on every port and an envelope estimator fed from every host's NIC —
+// so the per-packet cost and allocation count measure the taps
+// themselves against the committed baseline.
+type IntrospectBenchParams struct {
+	// PacketsPerHost injected per host per rep.
+	PacketsPerHost int
+	// Reps is the sample size (one ns/packet sample per rep).
+	Reps int
+}
+
+// DefaultIntrospectBenchParams mirrors DefaultNetsimBenchParams so the
+// introspectub and netsimub records stay comparable head to head.
+func DefaultIntrospectBenchParams() IntrospectBenchParams {
+	return IntrospectBenchParams{PacketsPerHost: 1000, Reps: 25}
+}
+
+// RunIntrospectBench measures the introspection plane's hot-path
+// overhead end to end. The workload is RunNetsimBench's: per-host
+// generators inject a line-rate permutation through the 2-pod fabric
+// and the simulator runs to drain. Every queue carries a headroom
+// watch, every generated packet funds an unpaced NIC-tap envelope
+// estimator (SrcVM = host), and every port has bounds installed so the
+// margin arithmetic runs too. One op is one simulated packet; the
+// acceptance bar is allocs_per_op == 0 — attaching the plane must not
+// put allocations on the per-packet path.
+func RunIntrospectBench(p IntrospectBenchParams) (BenchRecord, error) {
+	if p.Reps <= 0 {
+		p.Reps = DefaultIntrospectBenchParams().Reps
+	}
+	if p.PacketsPerHost <= 0 {
+		p.PacketsPerHost = DefaultIntrospectBenchParams().PacketsPerHost
+	}
+	tree, err := topology.New(topology.Config{
+		Pods:           2,
+		RacksPerPod:    2,
+		ServersPerRack: 2,
+		SlotsPerServer: 4,
+		LinkBps:        10 * gbps,
+		BufferBytes:    312e3,
+		NICBufferBytes: 150e3,
+		RackOversub:    1,
+		PodOversub:     1,
+	})
+	if err != nil {
+		return BenchRecord{}, err
+	}
+	nw := netsim.Build(netsim.NewSim(), tree, netsim.Options{PropNs: 200})
+	hosts := len(nw.Hosts)
+	var deliveredCount int64
+	for _, h := range nw.Hosts {
+		h.OnDeliver = func(*netsim.Packet, int64) { deliveredCount++ }
+		h.FreeOnDeliver = true
+	}
+
+	in := introspect.Attach(nw, nil, introspect.Config{})
+	for h := 0; h < hosts; h++ {
+		in.TrackVM(h, h, h/4, introspect.Envelope{RateBps: 1 * gbps, BurstBytes: 30e3})
+	}
+	for pid := range nw.Queues {
+		if nw.Queues[pid] != nil {
+			in.SetPortBounds(pid, introspect.PortBounds{Tenants: 1, BacklogBytes: 300e3, BusyPeriodSec: 1e-3, CapacitySec: 1e-3})
+		}
+	}
+
+	const size = 1500
+	gapNs := int64(float64(size*8) / (10 * gbps * 8) * 1e9)
+	gens := make([]*benchGen, hosts)
+	for h := 0; h < hosts; h++ {
+		gens[h] = &benchGen{host: nw.Hosts[h], dst: (h + 3) % hosts, size: size, gapNs: gapNs, srcVM: h}
+		gens[h].fn = gens[h].send
+	}
+	perPacket := stats.NewSample(p.Reps)
+	rec := BenchRecord{Benchmark: "introspectub", Hosts: hosts}
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for rep := 0; rep < p.Reps; rep++ {
+		repStart := time.Now()
+		base := nw.Sim.Now()
+		for h := 0; h < hosts; h++ {
+			gens[h].remaining = p.PacketsPerHost
+			nw.Sim.At(base, gens[h].fn)
+		}
+		nw.Sim.Run(base + int64(p.PacketsPerHost)*gapNs + int64(1e6))
+		perPacket.Add(float64(time.Since(repStart).Nanoseconds()) / float64(p.PacketsPerHost*hosts))
+	}
+	rec.TotalNs = time.Since(start).Nanoseconds()
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
+	rec.Requests = p.Reps * p.PacketsPerHost * hosts
+	rec.Accepted = int(deliveredCount)
+	if rec.Requests > 0 {
+		rec.AllocsPerOp = int64(ms1.Mallocs-ms0.Mallocs) / int64(rec.Requests)
+	}
+	rec.MeanNs = int64(perPacket.Mean())
+	rec.P50Ns = int64(perPacket.Percentile(50))
+	rec.P99Ns = int64(perPacket.Percentile(99))
+	rec.MaxNs = int64(perPacket.Max())
+	// The snapshot must reflect the run (taps actually fired), or the
+	// benchmark silently measured nothing.
+	if s := in.Snapshot(); len(s.Envelopes) != hosts || s.Envelopes[0].Emissions == 0 {
+		rec.Accepted = 0
+	}
+	return rec, nil
+}

@@ -141,6 +141,103 @@ func QueueBoundTwoPiece(rate, burst, peak, seed, svcRate float64) float64 {
 	return best
 }
 
+// BacklogTB returns Backlog for the token-bucket arrival curve
+// A(t) = rate·t + burst against the zero-latency rate service
+// β(t) = svcRate·t, in closed form with no allocation. Results are
+// float-for-float identical to Backlog(NewTokenBucket(rate, burst),
+// NewRateLatency(svcRate, 0)), except that a (numerically) negative
+// burst clamps to zero instead of panicking in the constructor. The
+// introspection plane derives every port's worst-case occupancy from
+// the placement manager's aggregate scalars through this path.
+func BacklogTB(rate, burst, svcRate float64) float64 {
+	if rate == 0 && burst == 0 {
+		return 0
+	}
+	if rate > svcRate {
+		return math.Inf(1)
+	}
+	if burst < 0 {
+		return 0
+	}
+	return burst
+}
+
+// BacklogTwoPiece returns Backlog for the two-piece rate-capped
+// arrival curve A′(t) = min(peak·t + seed, rate·t + burst) against the
+// zero-latency rate service β(t) = svcRate·t, in closed form. The
+// degenerate cases fall back to the token bucket exactly as
+// NewRateCapped does, so results are float-for-float identical to
+// materializing the curves and calling Backlog. The deviation is
+// attained at a breakpoint of A′: either the instantaneous burst at
+// t = 0 or the knee of the peak cap.
+func BacklogTwoPiece(rate, burst, peak, seed, svcRate float64) float64 {
+	if peak <= rate || burst <= seed {
+		return BacklogTB(rate, burst, svcRate)
+	}
+	if rate > svcRate {
+		return math.Inf(1)
+	}
+	tx := (burst - seed) / (peak - rate)
+	yx := seed + peak*tx
+	best := 0.0
+	if seed > best {
+		best = seed
+	}
+	if d := yx - svcRate*tx; d > best {
+		best = d
+	}
+	return best
+}
+
+// BusyPeriodTB returns BusyPeriod for the token-bucket arrival curve
+// against the zero-latency rate service β(t) = svcRate·t, in closed
+// form: the curves meet where svcRate·t = rate·t + burst. Results are
+// float-for-float identical to the generic breakpoint scan, including
+// its edge semantics (a zero-burst, positive-rate curve reports +Inf —
+// the scan finds no strictly positive meeting point).
+func BusyPeriodTB(rate, burst, svcRate float64) float64 {
+	if rate == 0 && burst == 0 {
+		return 0
+	}
+	if rate > svcRate {
+		return math.Inf(1)
+	}
+	if svcRate > rate && burst > 0 {
+		return burst / (svcRate - rate)
+	}
+	return math.Inf(1)
+}
+
+// BusyPeriodTwoPiece returns BusyPeriod for the two-piece rate-capped
+// arrival curve against the zero-latency rate service β(t) = svcRate·t,
+// in closed form, float-for-float identical to the generic scan over
+// the materialized curves. The service line either crosses the peak
+// segment before the knee (svcRate > peak), exactly grazes the knee, or
+// crosses the token-bucket tail.
+func BusyPeriodTwoPiece(rate, burst, peak, seed, svcRate float64) float64 {
+	if peak <= rate || burst <= seed {
+		return BusyPeriodTB(rate, burst, svcRate)
+	}
+	if rate > svcRate {
+		return math.Inf(1)
+	}
+	tx := (burst - seed) / (peak - rate)
+	yx := seed + peak*tx
+	if svcRate > peak && seed > 0 {
+		if t := seed / (svcRate - peak); t < tx {
+			return t
+		}
+	}
+	d := yx - svcRate*tx
+	if d <= 0 {
+		return tx
+	}
+	if svcRate > rate {
+		return tx + d/(svcRate-rate)
+	}
+	return math.Inf(1)
+}
+
 // Backlog returns the maximum vertical deviation between a and s — the
 // worst-case queue occupancy in bytes. +Inf if a's long-term rate
 // exceeds s's.

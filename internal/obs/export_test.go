@@ -129,6 +129,30 @@ func TestPrometheusGoldenScrape(t *testing.T) {
 	for _, v := range []int64{0, 2, 3, 17, 250} {
 		h.Observe(v)
 	}
+	// The introspection-plane families, mirroring what
+	// introspect.Attach/TrackVM register (TestIntrospectScrapeFamilies
+	// in internal/obs/introspect keeps the real registrations honest).
+	r.GaugeFunc("silo_introspect_envelope_rate_bps",
+		"fitted long-run emission rate (bytes/sec)",
+		func() float64 { return 1.17e8 }, "vm", "1000", "tenant", "1")
+	r.GaugeFunc("silo_introspect_envelope_burst_bytes",
+		"minimal burst enveloping the observed stream at the admitted rate",
+		func() float64 { return 99500 }, "vm", "1000", "tenant", "1")
+	r.GaugeFunc("silo_introspect_envelope_violation",
+		"1 when the fitted envelope exceeds the admitted {B, S}",
+		func() float64 { return 0 }, "vm", "1000", "tenant", "1")
+	r.GaugeFunc("silo_introspect_envelope_violations",
+		"tracked VMs whose fitted envelope exceeds the admitted {B, S}",
+		func() float64 { return 0 })
+	r.GaugeFunc("silo_introspect_min_margin_bytes",
+		"least backlog-bound margin across bounded ports (bytes)",
+		func() float64 { return 1504 })
+	r.GaugeFunc("silo_introspect_min_margin_port",
+		"directed-port ID holding the least backlog-bound margin",
+		func() float64 { return 1 })
+	r.GaugeFunc("silo_introspect_port_margin_bytes",
+		"backlog bound minus observed high-water mark (bytes)",
+		func() float64 { return 53400 }, "port", "tor0->srv0", "id", "12")
 
 	var sb strings.Builder
 	if err := r.WritePrometheus(&sb); err != nil {

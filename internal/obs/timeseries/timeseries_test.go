@@ -84,6 +84,103 @@ func TestRingOverwrite(t *testing.T) {
 	}
 }
 
+// TestRingWraparoundBoundaries pins the ring's three edge states: full
+// but not yet wrapped (captures == capacity), the first overwrite
+// (capacity + 1), and deep wrap, checking at every step that the
+// snapshot is chronological and value i equals timestamp i (each
+// capture writes the counter's value == its timestamp, so any
+// off-by-one between the time ring and a value ring shows up as a
+// mismatch).
+func TestRingWraparoundBoundaries(t *testing.T) {
+	const cap = 4
+	reg := obs.NewRegistry()
+	c := reg.Counter("w_total", "")
+	r := NewRollup(reg, cap)
+
+	for i := 1; i <= 3*cap+1; i++ {
+		c.Inc()
+		r.Capture(int64(i))
+		s := r.Snapshot()
+
+		want := i
+		if want > cap {
+			want = cap
+		}
+		if len(s.TimesNs) != want {
+			t.Fatalf("capture %d: retained %d windows, want %d", i, len(s.TimesNs), want)
+		}
+		cs, ok := s.Get("w_total")
+		if !ok {
+			t.Fatalf("capture %d: series missing", i)
+		}
+		for j := 0; j < want; j++ {
+			wantT := int64(i - want + 1 + j)
+			if s.TimesNs[j] != wantT {
+				t.Fatalf("capture %d: times = %v, slot %d want %d", i, s.TimesNs, j, wantT)
+			}
+			if cs.Values[j] != float64(wantT) {
+				t.Fatalf("capture %d: values = %v, slot %d want %v", i, cs.Values, j, wantT)
+			}
+		}
+	}
+}
+
+// TestMidRunRegistrationAcrossWraparound registers a series mid-run,
+// wraps the ring past it, and checks the NaN prefix shrinks by exactly
+// one window per capture until the pre-registration windows age out.
+func TestMidRunRegistrationAcrossWraparound(t *testing.T) {
+	const cap = 4
+	reg := obs.NewRegistry()
+	early := reg.Counter("early_total", "")
+	r := NewRollup(reg, cap)
+
+	// Two captures before the late series exists.
+	for i := 1; i <= 2; i++ {
+		early.Inc()
+		r.Capture(int64(i))
+	}
+	late := reg.Counter("late_total", "")
+
+	for i := 3; i <= 2+cap+1; i++ {
+		late.Inc()
+		r.Capture(int64(i))
+
+		s := r.Snapshot()
+		ls, ok := s.Get("late_total")
+		if !ok {
+			t.Fatalf("capture %d: late series missing", i)
+		}
+		// Pre-registration windows still retained: captures 1 and 2,
+		// minus those already overwritten.
+		overwritten := i - cap
+		if overwritten < 0 {
+			overwritten = 0
+		}
+		wantNaN := 2 - overwritten
+		if wantNaN < 0 {
+			wantNaN = 0
+		}
+		gotNaN := 0
+		for _, v := range ls.Values {
+			if math.IsNaN(v) {
+				gotNaN++
+			}
+		}
+		if gotNaN != wantNaN {
+			t.Fatalf("capture %d: %d NaN windows %v, want %d", i, gotNaN, ls.Values, wantNaN)
+		}
+		// NaNs must form a prefix (gaps belong to the oldest windows).
+		for j, v := range ls.Values {
+			if j < wantNaN != math.IsNaN(v) {
+				t.Fatalf("capture %d: NaN not a prefix: %v", i, ls.Values)
+			}
+		}
+		if got := ls.Values[len(ls.Values)-1]; got != float64(i-2) {
+			t.Fatalf("capture %d: newest late sample = %v, want %d", i, got, i-2)
+		}
+	}
+}
+
 func TestMidRunRegistrationGetsNaN(t *testing.T) {
 	reg := obs.NewRegistry()
 	c := reg.Counter("early_total", "")

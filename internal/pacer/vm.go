@@ -99,6 +99,10 @@ type VM struct {
 
 	queuedTotal int64      // bytes awaiting commit across all destinations
 	mx          *VMMetrics // nil = uninstrumented (one branch per event)
+
+	// onCommit, if set, observes every committed emission (release
+	// stamp, wire bytes) — the introspection plane's envelope tap.
+	onCommit func(releaseNs int64, bytes int)
 }
 
 // NewVM returns a pacer for one VM, with buckets full at time start.
@@ -127,6 +131,15 @@ func (v *VM) Guarantee() Guarantee { return v.g }
 
 // SetMetrics attaches (or detaches, with nil) telemetry to the VM.
 func (v *VM) SetMetrics(m *VMMetrics) { v.mx = m }
+
+// SetCommitTap installs fn to observe every packet the scheduler
+// commits through the bucket chain, carrying the exact release stamp
+// and wire bytes the {B, S} buckets authorized. Commits are produced
+// in nondecreasing release order, so fn may feed a streaming envelope
+// estimator directly. One tap per VM; nil detaches. The tap runs on
+// the VM's scheduling path (its island under a ParallelSim), so it
+// must not allocate or block.
+func (v *VM) SetCommitTap(fn func(releaseNs int64, bytes int)) { v.onCommit = fn }
 
 // QueuedBytesTo reports bytes awaiting release toward dst.
 func (v *VM) QueuedBytesTo(dst int) int64 { return v.queuedBytes[dst] }
@@ -269,6 +282,9 @@ func (v *VM) Schedule(upTo int64) {
 		p.Release = bestR
 		p.Gate = bestGate
 		v.mx.noteCommit(p, bestR, v.queuedTotal)
+		if v.onCommit != nil {
+			v.onCommit(bestR, p.Bytes)
+		}
 		heap.Push(&v.ready, p)
 	}
 	if upTo > v.horizon {

@@ -1,0 +1,447 @@
+package placement
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/tenant"
+	"repro/internal/topology"
+)
+
+// PortLoad is the aggregate admitted arrival-curve state at one
+// directed port, in the scalar form the manager maintains incrementally
+// (sums of rate-capped curves min(Peak·t+Seed, Rate·t+Burst)). The
+// introspection plane re-derives every port's backlog and busy-period
+// bounds from these scalars via the netcal closed forms.
+type PortLoad struct {
+	Rate    float64 // admitted sustained rate, bytes/sec
+	Burst   float64 // admitted burst, bytes (incl. upstream inflation)
+	Peak    float64 // admitted peak rate, bytes/sec
+	Seed    float64 // instantaneous packet-scale burst, bytes
+	Tenants int     // tenants contributing at the port
+}
+
+// PortLoad returns the current aggregate load at port pid.
+func (m *Manager) PortLoad(pid int) PortLoad {
+	st := &m.ports[pid]
+	return PortLoad{Rate: st.Rate, Burst: st.Burst, Peak: st.Peak, Seed: st.Seed, Tenants: st.tenants}
+}
+
+// PortRateBps returns port pid's line rate in bytes/sec.
+func (m *Manager) PortRateBps(pid int) float64 { return m.portRate[pid] }
+
+// PortCapacitySec returns port pid's queue capacity (buffer drain
+// time) in seconds — the right-hand side of admission constraint 1.
+func (m *Manager) PortCapacitySec(pid int) float64 { return m.portCap[pid] }
+
+// PortCut is one directed port's share of a tenant's admission
+// footprint: how many VMs sit on the near side of the cut, the
+// contribution curve that cut adds at the port, and the port's queue
+// bound before and after admitting it.
+type PortCut struct {
+	Port   int
+	Kind   string // "server/up", "rack/down", ...
+	CutVMs int    // VMs on the near side of the cut
+
+	Rate, Burst, Peak, Seed float64 // contribution scalars
+
+	BoundBeforeSec float64
+	BoundAfterSec  float64
+	CapacitySec    float64
+}
+
+// MarginSec is the slack constraint 1 leaves at the port after
+// admission: capacity minus the post-admission queue bound.
+func (pc PortCut) MarginSec() float64 { return pc.CapacitySec - pc.BoundAfterSec }
+
+// Decision is one journaled admission decision.
+type Decision struct {
+	TenantID int
+	Name     string
+	VMs      int
+	Accepted bool
+	Servers  []int // chosen servers (accepted only)
+	Span     string
+
+	// Cuts lists every port the tenant's traffic crosses, ascending by
+	// port ID (accepted only).
+	Cuts []PortCut
+
+	// LimitingPort is the binding port: on accept, the crossed port
+	// with the least margin; on a constraint-1 reject, the violated
+	// port. -1 when the decision was not port-bound.
+	LimitingPort     int
+	LimitingBoundSec float64
+	LimitingCapSec   float64
+
+	// Reason explains a rejection in one sentence.
+	Reason string
+}
+
+// journal retains recent admission decisions for explainability. It is
+// nil unless EnableJournal ran, so the admission hot path pays one
+// branch when disabled; recording itself happens only on the cold
+// accept/reject tails, never inside the scope search.
+type journal struct {
+	keep  int
+	byID  map[int]*Decision
+	order []int
+}
+
+// EnableJournal turns on the admission decision journal, retaining the
+// most recent keep decisions (keep <= 0 retains all). A tenant's
+// latest decision replaces its earlier ones.
+func (m *Manager) EnableJournal(keep int) {
+	m.journal = &journal{keep: keep, byID: make(map[int]*Decision)}
+}
+
+func (j *journal) record(d *Decision) {
+	if _, seen := j.byID[d.TenantID]; !seen {
+		j.order = append(j.order, d.TenantID)
+	}
+	j.byID[d.TenantID] = d
+	if j.keep > 0 && len(j.order) > j.keep {
+		evict := j.order[0]
+		j.order = j.order[1:]
+		delete(j.byID, evict)
+	}
+}
+
+// Decision returns the journaled admission decision for a tenant.
+func (m *Manager) Decision(tenantID int) (*Decision, bool) {
+	if m.journal == nil {
+		return nil, false
+	}
+	d, ok := m.journal.byID[tenantID]
+	return d, ok
+}
+
+// Explain renders the journaled decision for a tenant.
+func (m *Manager) Explain(tenantID int) string {
+	d, ok := m.Decision(tenantID)
+	if !ok {
+		return fmt.Sprintf("tenant %d: no journaled decision (enable the journal before Place)\n", tenantID)
+	}
+	return d.Render(m.tree)
+}
+
+func spanName(h scopeHeight) string {
+	switch h {
+	case scopeRack:
+		return "rack"
+	case scopePod:
+		return "pod"
+	default:
+		return "datacenter"
+	}
+}
+
+func portKind(tree *topology.Tree, pid int) string {
+	p := tree.Port(pid)
+	return fmt.Sprintf("%s/%s", p.Level, p.Dir)
+}
+
+// cutSizes maps every port a layout's traffic crosses to its cut
+// annotation (port family plus near-side VM count), mirroring the port
+// walk of forEachContribution.
+type cutInfo struct {
+	kind string
+	vms  int
+}
+
+func (m *Manager) cutSizes(lay layout) map[int]cutInfo {
+	n := lay.total
+	t := m.tree
+	out := make(map[int]cutInfo, 2*len(lay.servers)+2*len(lay.racks)+2*len(lay.pods))
+	for i, s := range lay.servers {
+		k := lay.serverCnt[i]
+		out[t.ServerUpPortID(s)] = cutInfo{portKind(t, t.ServerUpPortID(s)), k}
+		out[t.RackDownPortID(s)] = cutInfo{portKind(t, t.RackDownPortID(s)), n - k}
+	}
+	if len(lay.racks) > 1 {
+		for ri, r := range lay.racks {
+			k := lay.rackCnt[ri]
+			if k == n {
+				continue
+			}
+			out[t.RackUpPortID(r)] = cutInfo{portKind(t, t.RackUpPortID(r)), k}
+			out[t.PodDownPortID(r)] = cutInfo{portKind(t, t.PodDownPortID(r)), n - k}
+		}
+	}
+	if len(lay.pods) > 1 {
+		for pi, p := range lay.pods {
+			k := lay.podCnt[pi]
+			if k == n {
+				continue
+			}
+			out[t.PodUpPortID(p)] = cutInfo{portKind(t, t.PodUpPortID(p)), k}
+			out[t.CoreDownPortID(p)] = cutInfo{portKind(t, t.CoreDownPortID(p)), n - k}
+		}
+	}
+	return out
+}
+
+// recordAccept builds the journal entry for an accepted tenant. It
+// must run before the tenant's contributions are added to the port
+// state, so BoundBeforeSec reflects the pre-admission aggregate. The
+// bounds go through portBoundWith — the same fast/reference split the
+// admission search used — so the journal replays the decision's exact
+// arithmetic.
+func (m *Manager) recordAccept(spec tenant.Spec, servers []int, contribs map[int]contribution) *Decision {
+	lay := newLayout(m.tree, servers)
+	d := &Decision{
+		TenantID:     spec.ID,
+		Name:         spec.Name,
+		VMs:          spec.VMs,
+		Accepted:     true,
+		Servers:      append([]int(nil), lay.servers...),
+		Span:         spanName(lay.span()),
+		LimitingPort: -1,
+	}
+	pids := make([]int, 0, len(contribs))
+	for pid := range contribs {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	cuts := m.cutSizes(lay)
+	minMargin := math.Inf(1)
+	for _, pid := range pids {
+		c := contribs[pid]
+		pc := PortCut{
+			Port:           pid,
+			Kind:           cuts[pid].kind,
+			CutVMs:         cuts[pid].vms,
+			Rate:           c.Rate,
+			Burst:          c.Burst,
+			Peak:           c.Peak,
+			Seed:           c.Seed,
+			BoundBeforeSec: m.portBoundWith(pid, contribution{}),
+			BoundAfterSec:  m.portBoundWith(pid, c),
+			CapacitySec:    m.portCap[pid],
+		}
+		d.Cuts = append(d.Cuts, pc)
+		if mg := pc.MarginSec(); mg < minMargin {
+			minMargin = mg
+			d.LimitingPort = pid
+			d.LimitingBoundSec = pc.BoundAfterSec
+			d.LimitingCapSec = pc.CapacitySec
+		}
+	}
+	return d
+}
+
+// explainReject re-runs the failed admission serially with
+// instrumentation to name the binding constraint. It walks the same
+// decision structure findPlacement did — constraint-2 scope gating,
+// then pack-with-caps at the widest admissible scope — but records
+// which check failed first. Per-server caps are recomputed through
+// maxVMsOnServer with a nil memo, i.e. the reference
+// curve-materializing route, and port bounds go through portBoundWith,
+// so the fast-path and NoFastPath managers name the same limiting port
+// for the same request sequence.
+func (m *Manager) explainReject(spec tenant.Spec) *Decision {
+	d := &Decision{
+		TenantID:     spec.ID,
+		Name:         spec.Name,
+		VMs:          spec.VMs,
+		LimitingPort: -1,
+	}
+	budget := spec.Guarantee.DelayBound
+	if budget <= 0 {
+		budget = math.Inf(1)
+	}
+	widest := scopeHeight(-1)
+	for h := scopeDC; h >= scopeRack; h-- {
+		if m.scopeDelayOK(budget, h) {
+			widest = h
+			break
+		}
+	}
+	if widest < 0 {
+		d.Reason = fmt.Sprintf(
+			"constraint 2: delay bound d=%.4gs is below the rack-scope path capacity %.4gs — no multi-server placement can meet it",
+			budget, m.tree.ServerUpPort(0).QueueCapacity()+m.tree.RackDownPort(0).QueueCapacity())
+		return d
+	}
+	d.Span = spanName(widest)
+	// Probe the widest scope's candidates in the search's first-fit
+	// order; the first candidate with enough free slots yields the
+	// concrete limiting constraint.
+	switch widest {
+	case scopeRack:
+		for r := 0; r < m.tree.Racks(); r++ {
+			if m.ix.freeByRack[r] < spec.VMs {
+				continue
+			}
+			lo, hi := m.tree.ServersOfRack(r)
+			if m.explainScope(spec, d, lo, hi, scopeRack) {
+				return d
+			}
+		}
+	case scopePod:
+		for p := 0; p < m.tree.Pods(); p++ {
+			if m.ix.freeByPod[p] < spec.VMs {
+				continue
+			}
+			rlo, rhi := m.tree.RacksOfPod(p)
+			slo, _ := m.tree.ServersOfRack(rlo)
+			_, shi := m.tree.ServersOfRack(rhi - 1)
+			if m.explainScope(spec, d, slo, shi, scopePod) {
+				return d
+			}
+		}
+	default:
+		if m.ix.totalFree >= spec.VMs {
+			if m.explainScope(spec, d, 0, m.tree.Servers(), scopeDC) {
+				return d
+			}
+		}
+	}
+	if d.Reason == "" {
+		d.Reason = fmt.Sprintf("insufficient free slots: no %s-scope candidate holds %d VMs", d.Span, spec.VMs)
+	}
+	return d
+}
+
+// explainScope replays the greedy pack over servers [lo, hi) and
+// reports the first binding failure into d. Returns false if the scope
+// never had a concrete failure to blame (e.g. not enough slots here —
+// the caller moves to the next candidate).
+func (m *Manager) explainScope(spec tenant.Spec, d *Decision, lo, hi int, span scopeHeight) bool {
+	n := spec.VMs
+	maxPer := maxPerServer(n, spec.FaultDomains)
+	servers := make([]int, 0, n)
+	left := n
+	limS, limK := -1, 0
+	for s := lo; s < hi && left > 0; s++ {
+		capRes := m.maxVMsByResources(spec, s)
+		if capRes > n {
+			capRes = n
+		}
+		capNet := m.maxVMsOnServer(spec, nil, s, span)
+		if limS < 0 && capNet < capRes && capNet < maxPer {
+			limS, limK = s, capNet+1
+		}
+		k := capNet
+		if k > maxPer {
+			k = maxPer
+		}
+		if k > left {
+			k = left
+		}
+		for j := 0; j < k; j++ {
+			servers = append(servers, s)
+		}
+		left -= k
+	}
+	if left > 0 {
+		if limS < 0 {
+			// Slot/resource-starved, not network-bound; let the caller
+			// try the next candidate or fall through to the generic
+			// slots message.
+			return false
+		}
+		pid, bound := m.blockingServerPort(spec, limS, limK, span)
+		d.LimitingPort = pid
+		d.LimitingBoundSec = bound
+		d.LimitingCapSec = m.portCap[pid]
+		d.Reason = fmt.Sprintf(
+			"constraint 1: server %d can host only %d VM(s) — VM %d drives %s port %d to a %.1fµs queue bound, over its %.1fµs capacity",
+			limS, limK-1, limK, portKind(m.tree, pid), pid, bound*1e6, m.portCap[pid]*1e6)
+		return true
+	}
+	if !faultDomainsOK(servers, spec.FaultDomains) {
+		d.Reason = fmt.Sprintf("fault domains: packing %d VMs lands on fewer than %d servers", n, spec.FaultDomains)
+		return true
+	}
+	// The pack produced a full layout, so its aggregate constraints
+	// must be what failed.
+	lay := newLayout(m.tree, servers)
+	violPort, violBound := -1, 0.0
+	m.forEachContribution(spec, lay, func(pid int, c contribution) bool {
+		if b := m.portBoundWith(pid, c); b > m.portCap[pid]+1e-12 {
+			violPort, violBound = pid, b
+			return false
+		}
+		return true
+	})
+	if violPort >= 0 {
+		d.LimitingPort = violPort
+		d.LimitingBoundSec = violBound
+		d.LimitingCapSec = m.portCap[violPort]
+		d.Reason = fmt.Sprintf(
+			"constraint 1: packed layout drives %s port %d to a %.1fµs queue bound, over its %.1fµs capacity",
+			portKind(m.tree, violPort), violPort, violBound*1e6, m.portCap[violPort]*1e6)
+		return true
+	}
+	if dB := spec.Guarantee.DelayBound; dB > 0 {
+		for i := 0; i < len(lay.servers); i++ {
+			for j := i + 1; j < len(lay.servers); j++ {
+				if pd := m.pathDelayMetric(lay.servers[i], lay.servers[j]); pd > dB+1e-15 {
+					d.Reason = fmt.Sprintf(
+						"constraint 2: path %d↔%d carries %.1fµs of queue capacity, over the %.1fµs delay bound",
+						lay.servers[i], lay.servers[j], pd*1e6, dB*1e6)
+					return true
+				}
+			}
+		}
+	}
+	// The greedy pack was viable but the search still rejected — the
+	// spread pass must have been forced and failed the same checks; the
+	// generic message is the honest summary.
+	return false
+}
+
+// blockingServerPort names the server-local port that rejects the k-th
+// VM on server s: the NIC-up check first, then the ToR-down check,
+// matching serverPortsOKRef's order and arithmetic.
+func (m *Manager) blockingServerPort(spec tenant.Spec, s, k int, span scopeHeight) (int, float64) {
+	n := spec.VMs
+	g := spec.Guarantee
+	up := m.tree.ServerUpPortID(s)
+	upC := m.cutContribution(k, n, g, m.tree.ServerUpPort(s).RateBps, 0)
+	if !upC.isZero() {
+		if b := m.portBoundWith(up, upC); b > m.portCap[up]+1e-12 {
+			return up, b
+		}
+	}
+	down := m.tree.RackDownPortID(s)
+	infl := m.inflation(span, topology.LevelRack, topology.Down)
+	downC := m.cutContribution(n-k, n, g, math.Inf(1), infl)
+	return down, m.portBoundWith(down, downC)
+}
+
+// Render formats the decision for the CLI.
+func (d *Decision) Render(tree *topology.Tree) string {
+	var b strings.Builder
+	if d.Accepted {
+		fmt.Fprintf(&b, "tenant %d %q: ACCEPTED — %d VMs on %d server(s), %s scope\n",
+			d.TenantID, d.Name, d.VMs, len(d.Servers), d.Span)
+		fmt.Fprintf(&b, "  servers: %v\n", d.Servers)
+		if len(d.Cuts) == 0 {
+			b.WriteString("  no network ports crossed (single-server placement)\n")
+			return b.String()
+		}
+		fmt.Fprintf(&b, "  %-12s %-6s %-4s %12s %12s %10s %10s %10s %10s\n",
+			"port", "id", "cut", "rate(MBps)", "burst(KB)", "before(µs)", "after(µs)", "cap(µs)", "margin(µs)")
+		for _, pc := range d.Cuts {
+			mark := ""
+			if pc.Port == d.LimitingPort {
+				mark = "  <- limiting"
+			}
+			fmt.Fprintf(&b, "  %-12s %-6d %-4d %12.2f %12.1f %10.1f %10.1f %10.1f %10.1f%s\n",
+				pc.Kind, pc.Port, pc.CutVMs, pc.Rate/1e6, pc.Burst/1e3,
+				pc.BoundBeforeSec*1e6, pc.BoundAfterSec*1e6, pc.CapacitySec*1e6, pc.MarginSec()*1e6, mark)
+		}
+		return b.String()
+	}
+	fmt.Fprintf(&b, "tenant %d %q: REJECTED — %d VMs\n", d.TenantID, d.Name, d.VMs)
+	fmt.Fprintf(&b, "  %s\n", d.Reason)
+	if d.LimitingPort >= 0 {
+		fmt.Fprintf(&b, "  limiting port: %s %d — bound %.1fµs vs capacity %.1fµs\n",
+			portKind(tree, d.LimitingPort), d.LimitingPort, d.LimitingBoundSec*1e6, d.LimitingCapSec*1e6)
+	}
+	return b.String()
+}

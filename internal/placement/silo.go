@@ -113,6 +113,10 @@ type Manager struct {
 	// mx is the optional telemetry bundle (EnableMetrics); nil costs
 	// one branch per Place/Remove.
 	mx *Metrics
+
+	// journal is the optional admission decision log (EnableJournal);
+	// nil costs one branch on each accept/reject tail.
+	journal *journal
 }
 
 type admittedTenant struct {
@@ -292,10 +296,18 @@ func (m *Manager) place(spec tenant.Spec) (*tenant.Placement, error) {
 	servers := m.findPlacement(spec)
 	if servers == nil {
 		m.rejectedCount++
+		if m.journal != nil {
+			m.journal.record(m.explainReject(spec))
+		}
 		return nil, fmt.Errorf("%w: tenant %q (%d VMs)", ErrRejected, spec.Name, spec.VMs)
 	}
 	pl := &tenant.Placement{Spec: spec, Servers: servers}
 	contribs := m.contributions(spec, servers)
+	if m.journal != nil {
+		// Before the port-state mutation below, so BoundBeforeSec sees
+		// the pre-admission aggregates.
+		m.journal.record(m.recordAccept(spec, servers, contribs))
+	}
 	for pid, c := range contribs {
 		m.ports[pid].add(c)
 		m.portTouched(pid)
@@ -343,9 +355,23 @@ func (m *Manager) placeBestEffort(spec tenant.Spec) (*tenant.Placement, error) {
 	servers := packGreedy(m.tree, eff, m.ix, spec.VMs, spec.FaultDomains)
 	if servers == nil {
 		m.rejectedCount++
+		if m.journal != nil {
+			m.journal.record(&Decision{
+				TenantID: spec.ID, Name: spec.Name, VMs: spec.VMs, LimitingPort: -1,
+				Reason: fmt.Sprintf("best-effort: no slot-feasible packing for %d VMs", spec.VMs),
+			})
+		}
 		return nil, fmt.Errorf("%w: best-effort tenant %q (%d VMs)", ErrRejected, spec.Name, spec.VMs)
 	}
 	pl := &tenant.Placement{Spec: spec, Servers: servers}
+	if m.journal != nil {
+		lay := newLayout(m.tree, servers)
+		m.journal.record(&Decision{
+			TenantID: spec.ID, Name: spec.Name, VMs: spec.VMs, Accepted: true,
+			Servers: append([]int(nil), lay.servers...), Span: spanName(lay.span()),
+			LimitingPort: -1,
+		})
+	}
 	for _, s := range servers {
 		m.takeSlot(s, spec)
 	}
