@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: all ci vet build test test-race test-faults test-parallel bench-placement bench-obs bench-telemetry bench-introspect regress baselines
+.PHONY: all ci vet build test test-race test-faults test-parallel test-incidents bench-placement bench-obs bench-telemetry bench-introspect bench-incident regress baselines
 
 all: vet build test
 
 # Everything CI runs, in order. The race pass covers the packages with
 # concurrent hot paths: the sharded obs histograms and the pacer.
-ci: vet build test test-faults test-parallel
+ci: vet build test test-faults test-parallel test-incidents
 	$(GO) test -race ./internal/obs/... ./internal/pacer/...
 
 vet:
@@ -39,6 +39,15 @@ test-faults:
 test-parallel:
 	$(GO) test -race -run 'Parallel|GlobalEvents|CrossIsland' ./internal/netsim/ ./internal/experiments/ ./internal/faults/
 
+# The incident-correlation suite: the correlator's clustering and
+# verdict unit tests, the end-to-end proofs (ToR-death drill verdicts
+# injected-fault, unpaced Fig-5 verdicts self-inflicted, paced control
+# clean), and the determinism gate (incident reports byte-identical
+# across worker counts) — all under the race detector.
+test-incidents:
+	$(GO) test -race ./internal/obs/incident/
+	$(GO) test -race -run 'Incident|Fig5Paced|ParallelScaleEquivalence' ./internal/experiments/
+
 # Reproduces the placement-at-scale numbers recorded in
 # bench_all_output.txt (see README.md "Placement at scale").
 bench-placement:
@@ -59,6 +68,11 @@ bench-telemetry:
 bench-introspect:
 	$(GO) test -run '^$$' -bench BenchmarkIntrospectOverhead -benchmem .
 
+# Asserts the incident plane (violation tap -> log -> correlation)
+# costs zero allocations per observed packet.
+bench-incident:
+	$(GO) test -run '^$$' -bench BenchmarkIncidentOverhead -benchmem ./internal/obs/incident/
+
 # Runs the microbenchmarks and compares them against the committed
 # BENCH_*.json baselines; exits non-zero on regression.
 regress:
@@ -67,4 +81,4 @@ regress:
 # Regenerates the committed microbenchmark baselines in place. Run on a
 # quiet machine and commit the diff deliberately.
 baselines:
-	$(GO) run ./cmd/silo-bench -run placeub,pacerub,netsimub,netsimpar,introspectub -bench-json .
+	$(GO) run ./cmd/silo-bench -run placeub,pacerub,netsimub,netsimpar,introspectub,incidentub -bench-json .

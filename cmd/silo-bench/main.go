@@ -12,7 +12,7 @@
 //
 // Experiments: fig1, table1, fig5, fig10, fig11, fig12 (also emits
 // fig13, fig14 and table4), fig15, fig16a, fig16b, placeub, pacerub,
-// netsimub, netsimpar, introspectub.
+// netsimub, netsimpar, introspectub, incidentub.
 package main
 
 import (
@@ -45,6 +45,10 @@ var benchJSON string
 // for the -regress comparison.
 var benchRecords = map[string]experiments.BenchRecord{}
 
+// runMeta stamps every artifact this invocation writes (bench records,
+// CSV series, incident reports) with its provenance.
+var runMeta obs.RunMeta
+
 // benchBaseline maps each microbenchmark to its committed baseline
 // file name.
 var benchBaseline = map[string]string{
@@ -53,11 +57,13 @@ var benchBaseline = map[string]string{
 	"netsimub":     "BENCH_netsim.json",
 	"netsimpar":    "BENCH_netsim_parallel.json",
 	"introspectub": "BENCH_introspect.json",
+	"incidentub":   "BENCH_incident.json",
 }
 
 // noteBenchRecord stores a microbenchmark record and writes it out if
 // -bench-json asked for it.
 func noteBenchRecord(rec experiments.BenchRecord) error {
+	rec.Meta = &runMeta
 	benchRecords[rec.Benchmark] = rec
 	if benchJSON == "" {
 		return nil
@@ -81,14 +87,14 @@ func writeCSV(name string, header []string, rows [][]float64) {
 	if outdir == "" {
 		return
 	}
-	if err := stats.WriteCSVFile(outdir, name, header, rows); err != nil {
+	if err := stats.WriteCSVFileComment(outdir, name, runMeta.CommentLine(), header, rows); err != nil {
 		fmt.Fprintf(os.Stderr, "csv %s: %v\n", name, err)
 	}
 }
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "experiment to run (all|fig1|table1|fig5|fig10|fig11|fig12|fig15|fig16a|fig16b|placeub|pacerub|netsimub|netsimpar|introspectub|parscale|besteffort|burststress|faultdrill)")
+		run      = flag.String("run", "all", "experiment to run (all|fig1|table1|fig5|fig10|fig11|fig12|fig15|fig16a|fig16b|placeub|pacerub|netsimub|netsimpar|introspectub|incidentub|parscale|besteffort|burststress|faultdrill)")
 		workers  = flag.Int("workers", 0, "island worker count for the parallel-simulator microbenchmark (0 = its default, 8)")
 		duration = flag.Float64("duration", 0, "override simulated seconds for packet-level experiments")
 		requests = flag.Int("requests", 0, "override request count for the placement microbenchmark")
@@ -107,6 +113,9 @@ func main() {
 	flag.Parse()
 	outdir = *outFlag
 	benchJSON = *benchOut
+	runMeta = obs.CollectRunMeta("silo-bench")
+	runMeta.Seed = int64(*seed)
+	runMeta.Workers = *workers
 
 	for _, f := range []struct{ name, path string }{
 		{"-metrics", *metricsOut}, {"-bench-json", *benchOut},
@@ -153,12 +162,13 @@ func main() {
 		"netsimub":     runNetsimUB,
 		"netsimpar":    func() error { return runNetsimParUB(*workers) },
 		"introspectub": runIntrospectUB,
+		"incidentub":   runIncidentUB,
 		"parscale":     runParallelScale,
 		"besteffort":   func() error { return runBestEffort(*duration, *seed) },
 		"burststress":  runBurstStressCmd,
 		"faultdrill":   func() error { return runFaultDrill(*seed) },
 	}
-	order := []string{"fig1", "table1", "fig5", "fig10", "fig11", "fig12", "fig15", "fig16a", "fig16b", "placeub", "pacerub", "netsimub", "netsimpar", "introspectub", "parscale", "besteffort", "burststress", "faultdrill"}
+	order := []string{"fig1", "table1", "fig5", "fig10", "fig11", "fig12", "fig15", "fig16a", "fig16b", "placeub", "pacerub", "netsimub", "netsimpar", "introspectub", "incidentub", "parscale", "besteffort", "burststress", "faultdrill"}
 
 	names := strings.Split(*run, ",")
 	if *run == "all" {
@@ -166,7 +176,7 @@ func main() {
 		if *regress {
 			// The regression gate only needs the record-producing
 			// microbenchmarks.
-			names = []string{"placeub", "pacerub", "netsimub", "netsimpar", "introspectub"}
+			names = []string{"placeub", "pacerub", "netsimub", "netsimpar", "introspectub", "incidentub"}
 		}
 	}
 	for _, name := range names {
@@ -311,6 +321,28 @@ func runFig5() error {
 			fmt.Fprintf(os.Stderr, "fig5 trace: %v\n", err)
 		} else {
 			fmt.Printf("flight trace written to %s (inspect with silo-trace)\n", path)
+		}
+	}
+	fmt.Println("incident check — same workload unpaced under a 350 µs audited bound:")
+	up := experiments.DefaultFigure5SimParams()
+	up.Scheme = experiments.SchemeTCP
+	up.Incidents = true
+	up.AuditDelayBoundSec = 350e-6
+	ru, err := experiments.RunFigure5Sim(up)
+	if err != nil {
+		return err
+	}
+	fmt.Println(ru.AuditSummary)
+	if ru.Incidents != nil {
+		fmt.Print(ru.Incidents.Render())
+		if outdir != "" {
+			ru.Incidents.Meta = &runMeta
+			path := filepath.Join(outdir, "fig5_incidents.json")
+			if err := ru.Incidents.WriteFile(path); err != nil {
+				fmt.Fprintf(os.Stderr, "fig5 incidents: %v\n", err)
+			} else {
+				fmt.Printf("incident report written to %s (inspect with silo-incident)\n", path)
+			}
 		}
 	}
 	return nil
@@ -499,6 +531,15 @@ func runFaultDrill(seed uint64) error {
 			float64(row.Delivered), float64(row.Violated), float64(row.InFault)})
 	}
 	writeCSV("faultdrill.csv", []string{"tenant", "verdict", "recovery_ms", "messages", "delivered", "violated", "in_fault"}, rows)
+	if outdir != "" && r.Incidents != nil {
+		r.Incidents.Meta = &runMeta
+		path := filepath.Join(outdir, "incidents.json")
+		if err := r.Incidents.WriteFile(path); err != nil {
+			fmt.Fprintf(os.Stderr, "drill incidents: %v\n", err)
+		} else {
+			fmt.Printf("incident report written to %s (inspect with silo-incident)\n", path)
+		}
+	}
 	if r.InvariantsErr != "" {
 		return fmt.Errorf("placement invariants after recovery: %s", r.InvariantsErr)
 	}
@@ -587,6 +628,18 @@ func runIntrospectUB() error {
 		return err
 	}
 	fmt.Print(rec.Render())
+	return noteBenchRecord(rec)
+}
+
+func runIncidentUB() error {
+	fmt.Println("Incident-plane microbenchmark — netsimub workload with every delivery violating and correlated into incidents:")
+	rec, err := experiments.RunIncidentBench(experiments.DefaultIncidentBenchParams())
+	if err != nil {
+		return err
+	}
+	fmt.Print(rec.Render())
+	// The checked-in BENCH_incident.json is regenerated with
+	// `silo-bench -run incidentub -bench-json BENCH_incident.json`.
 	return noteBenchRecord(rec)
 }
 

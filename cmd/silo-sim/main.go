@@ -31,6 +31,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/obs/dashboard"
+	"repro/internal/obs/incident"
 	"repro/internal/obs/introspect"
 	"repro/internal/obs/slo"
 	"repro/internal/obs/timeseries"
@@ -47,25 +48,26 @@ const gbps = 1e9 / 8
 
 func main() {
 	var (
-		schemeName  = flag.String("scheme", "silo", "scheme (silo|tcp|dctcp|hull|okto|okto+)")
-		duration    = flag.Float64("duration", 0.1, "simulated seconds")
-		racks       = flag.Int("racks", 2, "racks")
-		servers     = flag.Int("servers", 5, "servers per rack")
-		vmsA        = flag.Int("vms-a", 9, "VMs of the delay-sensitive tenant")
-		vmsB        = flag.Int("vms-b", 9, "VMs of the bulk tenant")
-		seed        = flag.Uint64("seed", 3, "rng seed")
-		metricsOut  = flag.String("metrics", "", "export metrics on exit (\"-\" = Prometheus to stdout, *.json = expvar JSON, else Prometheus to file)")
-		httpAddr    = flag.String("http", "", "serve the live dashboard, /metrics and /debug/vars on this address during the run")
-		pprofOn     = flag.Bool("pprof", false, "additionally expose /debug/pprof on the -http address")
-		traceOut    = flag.String("trace", "", "record a flight trace and write it on exit (*.json = Chrome trace_event for Perfetto + silo-trace, *.csv = compact spans)")
-		traceSample = flag.Int("trace-sample", 1, "flight-trace sampling divisor: record 1 in N packets (rounded up to a power of two)")
-		sloReport   = flag.Bool("slo-report", false, "print the per-tenant SLO conformance and burn-rate report after the run")
-		introOut    = flag.String("introspect", "", "attach the introspection plane (per-VM envelope estimators, per-port guarantee margins) and write its snapshot as JSON to this file on exit (join with silo-trace -why)")
-		seriesOut   = flag.String("series", "", "write the dashboard time-series payload (metrics rollup + SLO state) as JSON to this file on exit")
-		windowMs    = flag.Float64("window", 1, "SLO / time-series window in simulated milliseconds")
-		faultSched  = flag.String("fault", "", "fault schedule, e.g. \"t=20ms link 14 down; t=30ms up\" or \"t=20ms switch tor0 down\" (targets: link PORT, switch core|podN|torN, host ID; actions: down, up, gray DUR, flap NxDOWN/UP)")
-		faultDetect = flag.Duration("fault-detect", 500*time.Microsecond, "control-loop detection delay between an injected fault and the placement Recover call (silo scheme only)")
-		workers     = flag.Int("workers", 0, "parallel island workers (0 = sequential engine; >0 partitions the fabric into per-pod islands under conservative lookahead)")
+		schemeName   = flag.String("scheme", "silo", "scheme (silo|tcp|dctcp|hull|okto|okto+)")
+		duration     = flag.Float64("duration", 0.1, "simulated seconds")
+		racks        = flag.Int("racks", 2, "racks")
+		servers      = flag.Int("servers", 5, "servers per rack")
+		vmsA         = flag.Int("vms-a", 9, "VMs of the delay-sensitive tenant")
+		vmsB         = flag.Int("vms-b", 9, "VMs of the bulk tenant")
+		seed         = flag.Uint64("seed", 3, "rng seed")
+		metricsOut   = flag.String("metrics", "", "export metrics on exit (\"-\" = Prometheus to stdout, *.json = expvar JSON, else Prometheus to file)")
+		httpAddr     = flag.String("http", "", "serve the live dashboard, /metrics and /debug/vars on this address during the run")
+		pprofOn      = flag.Bool("pprof", false, "additionally expose /debug/pprof on the -http address")
+		traceOut     = flag.String("trace", "", "record a flight trace and write it on exit (*.json = Chrome trace_event for Perfetto + silo-trace, *.csv = compact spans)")
+		traceSample  = flag.Int("trace-sample", 1, "flight-trace sampling divisor: record 1 in N packets (rounded up to a power of two)")
+		sloReport    = flag.Bool("slo-report", false, "print the per-tenant SLO conformance and burn-rate report after the run")
+		incidentsOut = flag.String("incidents", "", "correlate violations, SLO burns, envelope evidence and faults into root-caused incidents; print the report and write it as JSON to this file on exit (pair with -introspect for verdict evidence; inspect with silo-incident)")
+		introOut     = flag.String("introspect", "", "attach the introspection plane (per-VM envelope estimators, per-port guarantee margins) and write its snapshot as JSON to this file on exit (join with silo-trace -why)")
+		seriesOut    = flag.String("series", "", "write the dashboard time-series payload (metrics rollup + SLO state) as JSON to this file on exit")
+		windowMs     = flag.Float64("window", 1, "SLO / time-series window in simulated milliseconds")
+		faultSched   = flag.String("fault", "", "fault schedule, e.g. \"t=20ms link 14 down; t=30ms up\" or \"t=20ms switch tor0 down\" (targets: link PORT, switch core|podN|torN, host ID; actions: down, up, gray DUR, flap NxDOWN/UP)")
+		faultDetect  = flag.Duration("fault-detect", 500*time.Microsecond, "control-loop detection delay between an injected fault and the placement Recover call (silo scheme only)")
+		workers      = flag.Int("workers", 0, "parallel island workers (0 = sequential engine; >0 partitions the fabric into per-pod islands under conservative lookahead)")
 	)
 	flag.Parse()
 
@@ -73,6 +75,7 @@ func main() {
 	// fails in milliseconds instead of after the simulation.
 	for _, f := range []struct{ name, path string }{
 		{"-metrics", *metricsOut}, {"-trace", *traceOut}, {"-series", *seriesOut}, {"-introspect", *introOut},
+		{"-incidents", *incidentsOut},
 	} {
 		if err := obs.ValidateOutputPath(f.name, f.path); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -92,14 +95,21 @@ func main() {
 		MetricsPath: *metricsOut,
 		HTTPAddr:    *httpAddr,
 		Pprof:       *pprofOn,
-		// -slo-report and -series consume the registry internally even
-		// when nothing is exported.
-		ForceRegistry: *sloReport || *seriesOut != "",
+		// -slo-report, -series and -incidents consume the registry
+		// internally even when nothing is exported.
+		ForceRegistry: *sloReport || *seriesOut != "" || *incidentsOut != "",
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+
+	// Provenance for every artifact this run writes: tool, build
+	// revision, and the knobs that determine the output byte for byte.
+	meta := obs.CollectRunMeta("silo-sim")
+	meta.Seed = int64(*seed)
+	meta.Workers = *workers
+	meta.Scheme = *schemeName
 
 	var scheme experiments.Scheme
 	switch *schemeName {
@@ -185,6 +195,16 @@ func main() {
 	}
 	nw.AttachDelayAudit(audit, tenantOf)
 
+	// The incident plane's unified violation stream: one log fed by the
+	// auditor's per-delivery tap and (below) the SLO engine's window
+	// sink. Wired before the run — the tap is read without locks on the
+	// delivery path.
+	var vlog *obs.ViolationLog
+	if *incidentsOut != "" {
+		vlog = obs.NewViolationLog(1 << 16)
+		audit.SetViolationTap(vlog.Observe)
+	}
+
 	var flight *obs.FlightRecorder
 	if *traceOut != "" {
 		flight = obs.NewFlightRecorder(0, *traceSample)
@@ -263,16 +283,41 @@ func main() {
 	// the registry into the time-series rollup and advance the SLO
 	// burn-rate engine, with the live port-window tracker naming the
 	// culprit port of each violating window.
+	// The incident correlator re-runs at every window flush, so the
+	// dashboard panel and the silo_incident_* metric families track the
+	// run live; the authoritative correlation (with the introspection
+	// snapshot as verdict evidence) happens once more at exit.
+	var corr *incident.Correlator
+	if vlog != nil {
+		corr = incident.New(incident.Config{MergeNs: 2 * windowNs})
+		corr.SetPortMeta(nw.PortMeta())
+		corr.SetMeta(&meta)
+		if reg != nil {
+			corr.RegisterMetrics(reg)
+		}
+	}
+
 	var rollup *timeseries.Rollup
 	var engine *slo.Engine
 	if reg != nil {
 		rollup = timeseries.NewRollup(reg, 512)
 		tracker := netsim.AttachPortWindowTracker(nw)
 		engine = slo.New(slo.Config{WindowNs: windowNs}, audit, tracker)
+		if vlog != nil {
+			engine.SetViolationSink(vlog.Observe)
+		}
 		nw.Sim.Every(windowNs, drainEnd, func(now int64) {
 			rollup.Capture(now)
 			engine.Flush(now)
 			tracker.Reset()
+			if corr != nil {
+				corr.SetViolations(vlog.Events())
+				if inj != nil {
+					corr.SetFaultEvents(inj.Events(), inj.GraceNs)
+				}
+				corr.SetAlerts(engine.Events())
+				corr.Correlate()
+			}
 		})
 	}
 	if inj != nil {
@@ -282,10 +327,12 @@ func main() {
 		engine.SetFaultLookup(inj.FaultIn)
 	}
 	dashOpts := dashboard.Options{
-		Title:  "silo-sim " + *schemeName,
-		Rollup: rollup,
-		Engine: engine,
-		Ports:  nw.PortMeta(),
+		Title:     "silo-sim " + *schemeName,
+		Rollup:    rollup,
+		Engine:    engine,
+		Ports:     nw.PortMeta(),
+		Incidents: corr,
+		Meta:      &meta,
 	}
 	if srv != nil {
 		dashboard.Attach(srv, dashOpts)
@@ -408,7 +455,7 @@ func main() {
 			}
 			fmt.Print(obs.RenderSpan(v, ports))
 		}
-		if err := obs.WriteTraceFile(*traceOut, ports, spans); err != nil {
+		if err := obs.WriteTraceFileMeta(*traceOut, &meta, ports, spans); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -418,15 +465,40 @@ func main() {
 		fmt.Println()
 		fmt.Print(engine.RenderReport())
 	}
+	var snap *introspect.Snapshot
 	if intro != nil {
-		snap := intro.Snapshot()
+		s := intro.Snapshot()
+		s.Meta = &meta
+		snap = &s
 		fmt.Println()
-		fmt.Print(snap.Render())
-		if err := snap.WriteFile(*introOut); err != nil {
+		fmt.Print(s.Render())
+		if err := s.WriteFile(*introOut); err != nil {
 			fmt.Fprintf(os.Stderr, "-introspect: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("introspection snapshot written to %s (join with silo-trace -why)\n", *introOut)
+	}
+	if corr != nil {
+		// Authoritative end-of-run correlation: the full violation
+		// stream, the final fault log, and the introspection snapshot as
+		// verdict evidence (without -introspect, incidents that need
+		// envelope evidence stay honestly unexplained).
+		corr.SetViolations(vlog.Events())
+		if inj != nil {
+			corr.SetFaultEvents(inj.Events(), inj.GraceNs)
+		}
+		if engine != nil {
+			corr.SetAlerts(engine.Events())
+		}
+		corr.SetSnapshot(snap)
+		rep := corr.Correlate()
+		fmt.Println()
+		fmt.Print(rep.Render())
+		if err := rep.WriteFile(*incidentsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "-incidents: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("incident report written to %s (inspect with silo-incident)\n", *incidentsOut)
 	}
 	if *seriesOut != "" {
 		f, err := os.Create(*seriesOut)

@@ -39,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/obs"
 	"repro/internal/obs/introspect"
@@ -65,10 +66,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	ports, spans, err := obs.ReadTraceFile(flag.Arg(0))
+	meta, ports, spans, err := obs.ReadTraceFileMeta(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if line := meta.CommentLine(); line != "" {
+		fmt.Printf("recorded by: %s\n", strings.TrimPrefix(line, "# run: "))
 	}
 
 	sum := obs.SummarizeFlight(spans)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/pacer"
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -31,6 +32,9 @@ type BenchRecord struct {
 	MaxNs       int64  `json:"max_ns"`
 	TotalNs     int64  `json:"total_ns"`
 	AllocsPerOp int64  `json:"allocs_per_op"`
+	// Meta records which invocation produced the record (tool, build
+	// revision, flags). Provenance only — never a gated metric.
+	Meta *obs.RunMeta `json:"meta,omitempty"`
 }
 
 // Record converts the placement benchmark result to the shared schema.
@@ -280,6 +284,7 @@ func (g *benchGen) send() {
 	p.Src = g.host.ID
 	p.SrcVM = g.srcVM
 	p.Dst = g.dst
+	p.DstVM = g.dst
 	p.Size = g.size
 	g.host.Send(p)
 	g.remaining--

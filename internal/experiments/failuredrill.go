@@ -8,6 +8,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/obs/incident"
 	"repro/internal/obs/slo"
 	"repro/internal/placement"
 	"repro/internal/stats"
@@ -124,6 +125,10 @@ type FailureDrillResult struct {
 	InvariantsErr string
 	// SLOReport is the engine's rendered per-tenant table.
 	SLOReport string
+	// Incidents is the correlated incident report: every guarantee
+	// violation clustered into episodes, each rooted on the injected
+	// fault (verdict injected-fault with the outage in the timeline).
+	Incidents *incident.Report
 }
 
 // Render formats the drill summary. Deterministic: all content derives
@@ -156,6 +161,9 @@ func (r *FailureDrillResult) Render() string {
 			row.Delivered, row.Violated, row.InFault, 100*row.Conformance)
 	}
 	b.WriteString(r.SLOReport)
+	if r.Incidents != nil {
+		b.WriteString(r.Incidents.Render())
+	}
 	fmt.Fprintf(&b, "drops: overflow=%d fault=%d\n", r.OverflowDrops, r.FaultDrops)
 	if r.InvariantsErr == "" {
 		b.WriteString("invariants: ok\n")
@@ -216,6 +224,13 @@ func RunFailureDrill(p FailureDrillParams) (*FailureDrillResult, error) {
 	inj := faults.NewInjector(nw)
 	inj.GraceNs = p.GraceNs
 	engine.SetFaultLookup(inj.FaultIn)
+
+	// Unified violation stream for the incident engine: per-packet
+	// events from the auditor's delivery tap, per-window events from
+	// the SLO engine's flushes.
+	vlog := obs.NewViolationLog(4096)
+	auditor.SetViolationTap(vlog.Observe)
+	engine.SetViolationSink(vlog.Observe)
 
 	res := &FailureDrillResult{Params: p}
 	rng := stats.NewRand(p.Seed)
@@ -368,6 +383,16 @@ func RunFailureDrill(p FailureDrillParams) (*FailureDrillResult, error) {
 	res.SLO = engine.Reports()
 	res.SLOEvents = engine.Events()
 	res.SLOReport = engine.RenderReport()
+
+	// Correlate the run into incidents: the drill's violations must all
+	// land inside the injected outage's windows (verdict injected-fault)
+	// — any other verdict is a finding about the drill itself.
+	corr := incident.New(incident.Config{MergeNs: 2 * p.WindowNs})
+	corr.SetViolations(vlog.Events())
+	corr.SetFaultEvents(res.Events, p.GraceNs)
+	corr.SetAlerts(res.SLOEvents)
+	corr.SetPortMeta(nw.PortMeta())
+	res.Incidents = corr.Correlate()
 	sloByID := map[int]slo.TenantReport{}
 	for _, r := range res.SLO {
 		sloByID[r.ID] = r

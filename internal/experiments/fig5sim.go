@@ -6,6 +6,8 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/obs/incident"
+	"repro/internal/obs/introspect"
 	"repro/internal/obs/slo"
 	"repro/internal/placement"
 	"repro/internal/stats"
@@ -25,6 +27,24 @@ type Figure5SimParams struct {
 	// packet); 0 disables tracing entirely — the baseline the overhead
 	// benchmark compares against.
 	TraceSampleN int
+	// Scheme selects the deployment scheme. The zero value is
+	// SchemeSilo (paced, hose-coordinated — the paper's system);
+	// SchemeTCP deploys the same tenant unpaced, the greedy baseline
+	// whose senders void their own admission contract.
+	Scheme Scheme
+	// Incidents attaches the incident plane: the introspection sidecar
+	// (fitted arrival envelopes + per-port margins), a violation log on
+	// the guarantee auditor, and post-run correlation into root-caused
+	// incidents (Result.Incidents).
+	Incidents bool
+	// AuditDelayBoundSec, when > 0, tightens the *audited* NIC-to-NIC
+	// bound below the admitted d. The fabric is so over-buffered that
+	// no run — paced or not — can exceed the admitted 1 ms here
+	// (buffers cap queueing at ~400 µs); auditing against the delay
+	// the paced system actually delivers (its max is ~252 µs) makes
+	// the unpaced run's self-inflicted damage visible: its deliveries
+	// land at up to ~501 µs, over any bound in between.
+	AuditDelayBoundSec float64
 }
 
 // DefaultFigure5SimParams runs 20 ms (≈20 burst rounds) tracing every
@@ -55,6 +75,13 @@ type Figure5SimResult struct {
 	Flight obs.FlightSummary
 	Spans  []obs.FlightSpan
 	Ports  []obs.PortMeta
+
+	// AuditSummary is the guarantee auditor's one-liner (which bound
+	// deliveries were judged against, worst delay, violation count).
+	AuditSummary string
+	// Incidents is the correlated incident report (nil unless
+	// Params.Incidents was set).
+	Incidents *incident.Report
 }
 
 // RunFigure5Sim instantiates Figure 5's cluster (nine {1 Gbps, 100 KB,
@@ -92,7 +119,8 @@ func RunFigure5Sim(p Figure5SimParams) (Figure5SimResult, error) {
 			BurstRateBps: 10 * gbps,
 		},
 	}
-	pl, err := placement.NewManager(tree, placement.Options{}).Place(spec)
+	mgr := placement.NewManager(tree, placement.Options{})
+	pl, err := mgr.Place(spec)
 	if err != nil {
 		return Figure5SimResult{}, fmt.Errorf("silo rejected the Figure-5 tenant: %w", err)
 	}
@@ -102,7 +130,7 @@ func RunFigure5Sim(p Figure5SimParams) (Figure5SimResult, error) {
 	}
 	res.BoundBytes = fig5WorstQueue(tree, spec, res.Layout)
 
-	scheme := SchemeSilo
+	scheme := p.Scheme
 	nw := netsim.Build(netsim.NewSim(), tree, scheme.netOptions(tree, 200))
 	f := transport.NewFabric(nw)
 	dep := DeployTenant(nw, f, scheme, spec, pl, 1000)
@@ -116,6 +144,22 @@ func RunFigure5Sim(p Figure5SimParams) (Figure5SimResult, error) {
 		return 0, false
 	}
 	nw.AttachDelayAudit(audit, tenantOf)
+	if p.AuditDelayBoundSec > 0 {
+		audit.SetDelayBound(spec.ID, p.AuditDelayBoundSec)
+	}
+
+	var in *introspect.Introspector
+	var vlog *obs.ViolationLog
+	if p.Incidents {
+		in = introspect.Attach(nw, nil, introspect.Config{})
+		adm := introspect.Envelope{RateBps: spec.Guarantee.BandwidthBps, BurstBytes: spec.Guarantee.BurstBytes}
+		for i, vmID := range dep.VMIDs {
+			in.TrackVM(pl.Servers[i], vmID, spec.ID, adm)
+		}
+		in.BindPlacement(mgr)
+		vlog = obs.NewViolationLog(1 << 14)
+		audit.SetViolationTap(vlog.Observe)
+	}
 
 	var flight *obs.FlightRecorder
 	if p.TraceSampleN > 0 {
@@ -124,7 +168,10 @@ func RunFigure5Sim(p Figure5SimParams) (Figure5SimResult, error) {
 	}
 	// HosePeak is the adversarial fixed point the admission bound must
 	// absorb: every sender may push its full B toward the one receiver.
-	CoordinateHose(nw, dep, workload.AllToOne(spec.VMs), HosePeak)
+	// An unpaced scheme has no hose to coordinate — that is the point.
+	if scheme.Paced() {
+		CoordinateHose(nw, dep, workload.AllToOne(spec.VMs), HosePeak)
+	}
 
 	// Every *remote* VM fires its full burst allowance S at VM 0 at the
 	// top of each millisecond — the analytic bound models remote
@@ -172,6 +219,17 @@ func RunFigure5Sim(p Figure5SimParams) (Figure5SimResult, error) {
 		obs.AnnotateSpans(res.Spans, audit, tenantOf)
 		res.Flight = obs.SummarizeFlight(res.Spans)
 	}
+	res.AuditSummary = audit.Summary()
+	if p.Incidents {
+		// One merge window per burst round: violations from consecutive
+		// rounds of the same overload chain into one incident.
+		corr := incident.New(incident.Config{MergeNs: 2 * roundNs})
+		corr.SetViolations(vlog.Events())
+		snap := in.Snapshot()
+		corr.SetSnapshot(&snap)
+		corr.SetPortMeta(nw.PortMeta())
+		res.Incidents = corr.Correlate()
+	}
 	return res, nil
 }
 
@@ -189,6 +247,12 @@ func (r Figure5SimResult) Render() string {
 		// The burst-windowed SLO view: conformance per millisecond round
 		// with the dominant culprit port, straight from the trace.
 		b.WriteString(slo.RenderTraceWindows(slo.WindowsFromSpans(r.Spans, int64(1e6)), r.Ports))
+	}
+	if r.AuditSummary != "" {
+		fmt.Fprintf(&b, "%s\n", r.AuditSummary)
+	}
+	if r.Incidents != nil {
+		b.WriteString(r.Incidents.Render())
 	}
 	return b.String()
 }

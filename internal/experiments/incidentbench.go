@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/obs/incident"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// IncidentBenchParams configures the incident-plane overhead
+// microbenchmark ("incidentub"): the netsimub permutation blast with
+// the guarantee auditor's violation tap feeding a ViolationLog, under
+// an impossible delay bound so *every* delivered packet walks the full
+// violation path — counter, histogram, tap, log append — plus one
+// end-of-rep correlation folding the log into incidents. That is the
+// worst case: a healthy run pays strictly less.
+type IncidentBenchParams struct {
+	// PacketsPerHost injected per host per rep.
+	PacketsPerHost int
+	// Reps is the sample size (one ns/packet sample per rep).
+	Reps int
+}
+
+// DefaultIncidentBenchParams mirrors DefaultNetsimBenchParams so the
+// incidentub and netsimub records stay comparable head to head.
+func DefaultIncidentBenchParams() IncidentBenchParams {
+	return IncidentBenchParams{PacketsPerHost: 1000, Reps: 25}
+}
+
+// RunIncidentBench measures the incident plane end to end. One op is
+// one simulated packet whose delivery is observed, judged violating,
+// and appended to the violation log; each rep closes with a full
+// Correlate. The acceptance bar is allocs_per_op == 0: observation
+// must stay allocation-free, and correlation's per-rep allocations
+// must amortize to nothing against the packet count.
+func RunIncidentBench(p IncidentBenchParams) (BenchRecord, error) {
+	if p.Reps <= 0 {
+		p.Reps = DefaultIncidentBenchParams().Reps
+	}
+	if p.PacketsPerHost <= 0 {
+		p.PacketsPerHost = DefaultIncidentBenchParams().PacketsPerHost
+	}
+	tree, err := topology.New(topology.Config{
+		Pods:           2,
+		RacksPerPod:    2,
+		ServersPerRack: 2,
+		SlotsPerServer: 4,
+		LinkBps:        10 * gbps,
+		BufferBytes:    312e3,
+		NICBufferBytes: 150e3,
+		RackOversub:    1,
+		PodOversub:     1,
+	})
+	if err != nil {
+		return BenchRecord{}, err
+	}
+	nw := netsim.Build(netsim.NewSim(), tree, netsim.Options{PropNs: 200})
+	hosts := len(nw.Hosts)
+	var deliveredCount int64
+	for _, h := range nw.Hosts {
+		h.OnDeliver = func(*netsim.Packet, int64) { deliveredCount++ }
+		h.FreeOnDeliver = true
+	}
+
+	// One tenant per 4 hosts, each with a 1 ns bound no real delivery
+	// can meet: the tap fires on every packet.
+	audit := obs.NewGuaranteeAuditor(nil)
+	for t := 0; t <= (hosts-1)/4; t++ {
+		audit.Admit(t, 10*gbps, 30e3, 1e-9)
+	}
+	nw.AttachDelayAudit(audit, func(vmID int) (int, bool) {
+		if vmID < 0 || vmID >= hosts {
+			return 0, false
+		}
+		return vmID / 4, true
+	})
+	vlog := obs.NewViolationLog(hosts * p.PacketsPerHost)
+	audit.SetViolationTap(vlog.Observe)
+	corr := incident.New(incident.Config{})
+	corr.SetPortMeta(nw.PortMeta())
+
+	const size = 1500
+	gapNs := int64(float64(size*8) / (10 * gbps * 8) * 1e9)
+	gens := make([]*benchGen, hosts)
+	for h := 0; h < hosts; h++ {
+		gens[h] = &benchGen{host: nw.Hosts[h], dst: (h + 3) % hosts, size: size, gapNs: gapNs, srcVM: h}
+		gens[h].fn = gens[h].send
+	}
+	perPacket := stats.NewSample(p.Reps)
+	rec := BenchRecord{Benchmark: "incidentub", Hosts: hosts}
+	var incidents int
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for rep := 0; rep < p.Reps; rep++ {
+		repStart := time.Now()
+		base := nw.Sim.Now()
+		for h := 0; h < hosts; h++ {
+			gens[h].remaining = p.PacketsPerHost
+			nw.Sim.At(base, gens[h].fn)
+		}
+		nw.Sim.Run(base + int64(p.PacketsPerHost)*gapNs + int64(1e6))
+		corr.SetViolations(vlog.Events())
+		incidents += len(corr.Correlate().Incidents)
+		vlog.Reset()
+		perPacket.Add(float64(time.Since(repStart).Nanoseconds()) / float64(p.PacketsPerHost*hosts))
+	}
+	rec.TotalNs = time.Since(start).Nanoseconds()
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
+	rec.Requests = p.Reps * p.PacketsPerHost * hosts
+	rec.Accepted = int(deliveredCount)
+	if rec.Requests > 0 {
+		rec.AllocsPerOp = int64(ms1.Mallocs-ms0.Mallocs) / int64(rec.Requests)
+	}
+	rec.MeanNs = int64(perPacket.Mean())
+	rec.P50Ns = int64(perPacket.Percentile(50))
+	rec.P99Ns = int64(perPacket.Percentile(99))
+	rec.MaxNs = int64(perPacket.Max())
+	// Every rep must have produced incidents from real violations, or
+	// the benchmark silently measured an idle tap.
+	if incidents < p.Reps || audit.TotalViolations() == 0 {
+		rec.Accepted = 0
+	}
+	return rec, nil
+}

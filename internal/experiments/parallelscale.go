@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/obs/incident"
 	"repro/internal/obs/slo"
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -108,6 +109,9 @@ type ParallelScaleResult struct {
 	// SimulatedNs is the simulated horizon, ElapsedNs the wall clock.
 	SimulatedNs int64
 	ElapsedNs   int64
+	// Incidents is the correlated incident report; its rendering is
+	// part of Summary, so it is held to the same byte-identity bar.
+	Incidents *incident.Report
 }
 
 // PacketsPerSec reports aggregate simulated-packet throughput.
@@ -228,6 +232,14 @@ func RunParallelScale(p ParallelScaleParams) (ParallelScaleResult, error) {
 	tracker := netsim.AttachPortWindowTracker(nw)
 	engine := slo.New(slo.Config{WindowNs: p.WindowNs}, audit, tracker)
 
+	// Unified violation stream for incident correlation. The tap fires
+	// from island workers concurrently; the log serializes internally
+	// and Correlate sorts canonically, so the incident report below is
+	// byte-identical at any worker count.
+	vlog := obs.NewViolationLog(1 << 16)
+	audit.SetViolationTap(vlog.Observe)
+	engine.SetViolationSink(vlog.Observe)
+
 	// Horizon: the last injection plus ample drain time, rounded to an
 	// even number so the final flush stays tie-free.
 	lastStart := int64(14*(hosts-1) + 1)
@@ -269,7 +281,15 @@ func RunParallelScale(p ParallelScaleParams) (ParallelScaleResult, error) {
 	b.WriteString(audit.Summary())
 	b.WriteString(engine.RenderReport())
 
+	corr := incident.New(incident.Config{MergeNs: 2 * p.WindowNs})
+	corr.SetViolations(vlog.Events())
+	corr.SetAlerts(engine.Events())
+	corr.SetPortMeta(nw.PortMeta())
+	rep := corr.Correlate()
+	b.WriteString(rep.Render())
+
 	res := ParallelScaleResult{
+		Incidents:   rep,
 		Summary:     b.String(),
 		Packets:     int64(hosts) * int64(p.PacketsPerHost),
 		Delivered:   delivered,

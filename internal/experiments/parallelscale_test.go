@@ -15,6 +15,10 @@ func TestParallelScaleEquivalence(t *testing.T) {
 		Pods:           4,
 		PacketsPerHost: 300,
 		WindowNs:       100_000,
+		// Below the ~6.9µs cross-pod path delay of this 4-pod config:
+		// cross-pod packets violate, rack-local ones don't, so the
+		// incident report has real content to hold byte-identical.
+		DelayBoundNs: 6_000,
 	}
 	params.Workers = 0
 	ref, err := RunParallelScale(params)
@@ -26,6 +30,16 @@ func TestParallelScaleEquivalence(t *testing.T) {
 	}
 	if !strings.Contains(ref.Summary, "tenant") && !strings.Contains(ref.Summary, "port,") {
 		t.Fatalf("summary looks empty:\n%s", ref.Summary)
+	}
+	// The incident report is part of the determinism surface: the tight
+	// 7µs bound guarantees cross-pod violations, so the report must be
+	// non-empty — an empty one would hold nothing to the byte-identity
+	// bar below.
+	if ref.Incidents == nil || len(ref.Incidents.Incidents) == 0 {
+		t.Fatalf("scale run produced no incidents:\n%s", ref.Summary)
+	}
+	if !strings.Contains(ref.Summary, "incident") {
+		t.Fatalf("summary missing the incident report:\n%s", ref.Summary)
 	}
 	for _, workers := range []int{1, 2, 4, 8} {
 		params.Workers = workers

@@ -82,13 +82,17 @@ func (nw *Network) AttachDelayAudit(a *obs.GuaranteeAuditor, tenantOf func(vmID 
 		return
 	}
 	for _, h := range nw.Hosts {
+		h := h
 		prev := h.OnDeliver
 		h.OnDeliver = func(p *Packet, delayNs int64) {
 			if prev != nil {
 				prev(p, delayNs)
 			}
 			if id, ok := tenantOf(p.DstVM); ok {
-				a.ObserveDelay(id, delayNs)
+				// Delivery time and endpoints ride along so a violation
+				// tap can emit a fully-identified event; h.Sim() is the
+				// island-local clock, exact in parallel runs.
+				a.ObserveDelivery(id, p.DstVM, p.SrcVM, h.Sim().Now(), delayNs)
 			}
 		}
 	}

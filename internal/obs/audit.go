@@ -35,6 +35,10 @@ type GuaranteeAuditor struct {
 	reg     *Registry
 	mu      sync.Mutex   // serializes Admit
 	tenants atomic.Value // map[int]*TenantAudit, copy-on-write
+	// tap receives one ViolationEvent per over-bound delivery. Set it
+	// with SetViolationTap before the simulation starts; it is read
+	// without synchronization on the hot path.
+	tap func(ViolationEvent)
 }
 
 // TenantAudit is the live audit state for one admitted tenant.
@@ -163,9 +167,33 @@ func (a *GuaranteeAuditor) Tenant(id int) (*TenantAudit, bool) {
 	return t, ok
 }
 
+// SetViolationTap installs a callback invoked once per delay-bound
+// violation with the unified ViolationEvent record (the single stream
+// the incident engine consumes). Call it before the simulation runs —
+// the tap is read without synchronization on the delivery path, so
+// installing it mid-run is a race. fn must not allocate if the
+// observation path is to stay allocation-free; ViolationLog.Observe
+// qualifies. nil clears the tap.
+func (a *GuaranteeAuditor) SetViolationTap(fn func(ViolationEvent)) {
+	if a == nil {
+		return
+	}
+	a.tap = fn
+}
+
 // ObserveDelay records one packet's NIC-to-NIC delay for a tenant.
-// Unknown tenants are ignored. Zero allocations.
+// Unknown tenants are ignored. Zero allocations. Thin wrapper over
+// ObserveDelivery for callers without packet context.
 func (a *GuaranteeAuditor) ObserveDelay(id int, delayNs int64) {
+	a.ObserveDelivery(id, -1, -1, 0, delayNs)
+}
+
+// ObserveDelivery records one delivered packet's NIC-to-NIC delay for
+// a tenant, with the packet's endpoints and delivery time so a
+// violation tap can emit a fully-identified ViolationEvent. dstVM and
+// srcVM may be -1 and nowNs 0 when unknown. Unknown tenants are
+// ignored. Zero allocations.
+func (a *GuaranteeAuditor) ObserveDelivery(id, dstVM, srcVM int, nowNs, delayNs int64) {
 	if a == nil {
 		return
 	}
@@ -178,6 +206,19 @@ func (a *GuaranteeAuditor) ObserveDelay(id int, delayNs int64) {
 	t.MaxDelayNs.SetMax(delayNs)
 	if t.DelayBoundNs > 0 && delayNs > t.DelayBoundNs {
 		t.Violations.Inc()
+		if a.tap != nil {
+			a.tap(ViolationEvent{
+				TimeNs:      nowNs,
+				Source:      SourceDelivery,
+				Tenant:      id,
+				VM:          dstVM,
+				SrcVM:       srcVM,
+				DelayNs:     delayNs,
+				BoundNs:     t.DelayBoundNs,
+				Count:       1,
+				CulpritPort: -1,
+			})
+		}
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/incident"
 	"repro/internal/obs/slo"
 	"repro/internal/obs/timeseries"
 )
@@ -39,6 +40,11 @@ type Options struct {
 	Engine *slo.Engine
 	// Ports resolves culprit-port names in rendered events.
 	Ports []obs.PortMeta
+	// Incidents supplies the root-caused incidents panel (the
+	// correlator's most recent Correlate result).
+	Incidents *incident.Correlator
+	// Meta stamps the payload with run provenance.
+	Meta *obs.RunMeta
 }
 
 // Payload is the /api/series document.
@@ -51,6 +57,10 @@ type Payload struct {
 	// Stat, Values).
 	Series []timeseries.SeriesData `json:"series"`
 	SLO    *SLOView                `json:"slo,omitempty"`
+	// Incidents is the correlator's latest root-caused report.
+	Incidents *incident.Report `json:"incidents,omitempty"`
+	// Meta is the producing run's provenance.
+	Meta *obs.RunMeta `json:"meta,omitempty"`
 }
 
 // SLOView is the SLO engine's state rendered for the dashboard.
@@ -107,6 +117,10 @@ func BuildPayload(opts Options) Payload {
 		}
 		p.SLO = v
 	}
+	if opts.Incidents != nil {
+		p.Incidents = opts.Incidents.LastReport()
+	}
+	p.Meta = opts.Meta
 	return p
 }
 

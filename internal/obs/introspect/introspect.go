@@ -286,6 +286,12 @@ func (in *Introspector) minMargin() (float64, int) {
 // Snapshot is the introspection plane's full deterministic state dump:
 // envelopes in VM registration order, ports ascending by ID.
 type Snapshot struct {
+	// Meta records which run produced the snapshot (tool, build
+	// revision, seed, flags). Stamped by the exporting CLI, nil for
+	// in-process snapshots; excluded from Render so determinism
+	// comparisons see only simulation-derived bytes.
+	Meta *obs.RunMeta `json:"meta,omitempty"`
+
 	Envelopes []VMEnvelope   `json:"envelopes"`
 	Ports     []PortHeadroom `json:"ports"`
 

@@ -159,30 +159,22 @@ func (k EventKind) String() string {
 
 // Event is one structured SLO occurrence: which tenant, which window,
 // how hard the budget is burning, and — when an Attributor is wired —
-// the dominant culprit port behind the queueing.
+// the dominant culprit port behind the queueing. The identifying
+// fields (time, tenant, window, culprit, fault) live in the embedded
+// obs.ViolationEvent — the unified record shared with the guarantee
+// auditor's delivery tap and consumed by the incident engine — so the
+// JSON payload keeps its historical keys while the engine emits the
+// same schema as every other instrument.
 type Event struct {
-	TimeNs int64     `json:"time_ns"`
-	Kind   EventKind `json:"kind"`
-	Tenant int       `json:"tenant"`
-	// WindowStartNs/WindowEndNs bracket the window that triggered the
-	// event.
-	WindowStartNs int64 `json:"window_start_ns"`
-	WindowEndNs   int64 `json:"window_end_ns"`
-	// Delivered/Violated are the triggering window's counts.
+	obs.ViolationEvent
+	Kind EventKind `json:"kind"`
+	// Delivered/Violated are the triggering window's counts (Violated
+	// mirrors the embedded Count for window events).
 	Delivered int64 `json:"delivered"`
 	Violated  int64 `json:"violated"`
 	// BurnRate is the window burn for violations, the long-lookback
 	// burn for alert transitions.
 	BurnRate float64 `json:"burn_rate"`
-	// CulpritPort is the attributed port (-1 when unattributed) and
-	// CulpritQueueNs its queueing contribution.
-	CulpritPort    int32 `json:"culprit_port"`
-	CulpritQueueNs int64 `json:"culprit_queue_ns"`
-	// Fault names the injected fault whose outage window (plus grace)
-	// overlaps this event's window, "" when none — degraded-mode
-	// accounting separates outage-caused violations from steady-state
-	// ones.
-	Fault string `json:"fault,omitempty"`
 }
 
 // Render formats the event for logs; ports (may be nil) resolves the
@@ -252,6 +244,7 @@ type Engine struct {
 	lastEnd int64
 	events  []Event
 	dropped int64
+	sink    func(obs.ViolationEvent)
 }
 
 // New returns an engine over auditor with the given config. attr may
@@ -282,6 +275,22 @@ func (e *Engine) SetFaultLookup(fn FaultLookup) {
 	}
 	e.mu.Lock()
 	e.faults = fn
+	e.mu.Unlock()
+}
+
+// SetViolationSink forwards every window-violation's unified record
+// (the embedded obs.ViolationEvent) to fn as it is emitted — typically
+// a ViolationLog shared with the guarantee auditor's delivery tap, so
+// the incident engine sees one stream. Alert transitions (burn
+// start/end) are not violations and are not forwarded. The sink runs
+// under the engine's lock during Flush; it must be cheap and must not
+// call back into the engine. nil clears it.
+func (e *Engine) SetViolationSink(fn func(obs.ViolationEvent)) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.sink = fn
 	e.mu.Unlock()
 }
 
@@ -422,15 +431,23 @@ func (e *Engine) Flush(nowNs int64) {
 			culprit, culpritQ = e.attribute(winStart, nowNs)
 			attributed = true
 			ev := Event{
-				TimeNs: nowNs, Kind: EventWindowViolation, Tenant: ts.t.ID,
-				WindowStartNs: winStart, WindowEndNs: nowNs,
+				ViolationEvent: obs.ViolationEvent{
+					TimeNs: nowNs, Source: obs.SourceWindow, Tenant: ts.t.ID,
+					VM: -1, SrcVM: -1,
+					WindowStartNs: winStart, WindowEndNs: nowNs,
+					BoundNs: ts.t.DelayBoundNs, Count: dVio,
+					CulpritPort: culprit, CulpritQueueNs: culpritQ,
+				},
+				Kind:      EventWindowViolation,
 				Delivered: dDel, Violated: dVio, BurnRate: winBurn,
-				CulpritPort: culprit, CulpritQueueNs: culpritQ,
 			}
 			if inFault {
 				ev.Fault = faultLabel
 			}
 			e.addEvent(ev)
+			if e.sink != nil {
+				e.sink(ev.ViolationEvent)
+			}
 		}
 
 		fastLong := e.burnOver(ts, e.cfg.FastLongWindows)
@@ -446,10 +463,14 @@ func (e *Engine) Flush(nowNs int64) {
 				culprit, culpritQ = e.attribute(winStart, nowNs)
 			}
 			base := Event{
-				TimeNs: nowNs, Tenant: ts.t.ID,
-				WindowStartNs: winStart, WindowEndNs: nowNs,
+				ViolationEvent: obs.ViolationEvent{
+					TimeNs: nowNs, Source: obs.SourceWindow, Tenant: ts.t.ID,
+					VM: -1, SrcVM: -1,
+					WindowStartNs: winStart, WindowEndNs: nowNs,
+					BoundNs: ts.t.DelayBoundNs, Count: dVio,
+					CulpritPort: culprit, CulpritQueueNs: culpritQ,
+				},
 				Delivered: dDel, Violated: dVio,
-				CulpritPort: culprit, CulpritQueueNs: culpritQ,
 			}
 			if inFault {
 				base.Fault = faultLabel

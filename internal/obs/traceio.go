@@ -24,6 +24,9 @@ import (
 // siloTraceData is the machine-readable payload embedded in the Chrome
 // trace's otherData block.
 type siloTraceData struct {
+	// Meta is the recording invocation's provenance (tool, version,
+	// seed, flags); nil for recordings made before it existed.
+	Meta  *RunMeta     `json:"meta,omitempty"`
 	Ports []PortMeta   `json:"ports"`
 	Spans []FlightSpan `json:"spans"`
 }
@@ -52,6 +55,10 @@ func usFloat(ns int64) float64 { return float64(ns) / 1e3 }
 
 // WriteChromeTrace writes spans as Chrome trace_event JSON.
 func WriteChromeTrace(w io.Writer, ports []PortMeta, spans []FlightSpan) error {
+	return writeChromeTrace(w, nil, ports, spans)
+}
+
+func writeChromeTrace(w io.Writer, meta *RunMeta, ports []PortMeta, spans []FlightSpan) error {
 	var evs []chromeEvent
 	for i := range spans {
 		s := &spans[i]
@@ -96,7 +103,7 @@ func WriteChromeTrace(w io.Writer, ports []PortMeta, spans []FlightSpan) error {
 			}
 		}
 	}
-	payload, err := json.Marshal(siloTraceData{Ports: ports, Spans: spans})
+	payload, err := json.Marshal(siloTraceData{Meta: meta, Ports: ports, Spans: spans})
 	if err != nil {
 		return err
 	}
@@ -120,6 +127,10 @@ var spansCSVHeader = []string{
 
 // WriteSpansCSV writes one compact numeric row per span.
 func WriteSpansCSV(w io.Writer, spans []FlightSpan) error {
+	return writeSpansCSV(w, nil, spans)
+}
+
+func writeSpansCSV(w io.Writer, meta *RunMeta, spans []FlightSpan) error {
 	rows := make([][]float64, 0, len(spans))
 	for i := range spans {
 		s := &spans[i]
@@ -137,21 +148,28 @@ func WriteSpansCSV(w io.Writer, spans []FlightSpan) error {
 			float64(s.BoundNs), complete,
 		})
 	}
-	return stats.WriteCSV(w, spansCSVHeader, rows)
+	return stats.WriteCSVComment(w, meta.CommentLine(), spansCSVHeader, rows)
 }
 
 // WriteTraceFile writes a recording to path: *.csv gets the compact
 // span CSV, anything else the Chrome trace JSON.
 func WriteTraceFile(path string, ports []PortMeta, spans []FlightSpan) error {
+	return WriteTraceFileMeta(path, nil, ports, spans)
+}
+
+// WriteTraceFileMeta is WriteTraceFile with run provenance stamped on
+// the recording: a "#" comment line on CSV, otherData.silo.meta on the
+// Chrome JSON (round-tripped by ReadTraceFileMeta).
+func WriteTraceFileMeta(path string, meta *RunMeta, ports []PortMeta, spans []FlightSpan) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	var werr error
 	if strings.HasSuffix(path, ".csv") {
-		werr = WriteSpansCSV(f, spans)
+		werr = writeSpansCSV(f, meta, spans)
 	} else {
-		werr = WriteChromeTrace(f, ports, spans)
+		werr = writeChromeTrace(f, meta, ports, spans)
 	}
 	if cerr := f.Close(); werr == nil {
 		werr = cerr
@@ -163,32 +181,44 @@ func WriteTraceFile(path string, ports []PortMeta, spans []FlightSpan) error {
 // recordings round-trip exactly (per-hop detail included); CSV
 // recordings reconstruct span-level attribution without hop lists.
 func ReadTraceFile(path string) ([]PortMeta, []FlightSpan, error) {
+	_, ports, spans, err := ReadTraceFileMeta(path)
+	return ports, spans, err
+}
+
+// ReadTraceFileMeta is ReadTraceFile plus the run provenance stamped
+// at write time — nil for CSV recordings (the "#" comment survives on
+// disk but is not parsed back) and for pre-provenance recordings.
+func ReadTraceFileMeta(path string) (*RunMeta, []PortMeta, []FlightSpan, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if strings.HasSuffix(path, ".csv") {
 		spans, err := parseSpansCSV(string(b))
-		return nil, spans, err
+		return nil, nil, spans, err
 	}
 	var file chromeTraceFile
 	if err := json.Unmarshal(b, &file); err != nil {
-		return nil, nil, fmt.Errorf("%s: not a silo trace: %w", path, err)
+		return nil, nil, nil, fmt.Errorf("%s: not a silo trace: %w", path, err)
 	}
 	raw, ok := file.OtherData["silo"]
 	if !ok {
-		return nil, nil, fmt.Errorf("%s: no otherData.silo span payload (not written by silo-sim?)", path)
+		return nil, nil, nil, fmt.Errorf("%s: no otherData.silo span payload (not written by silo-sim?)", path)
 	}
 	var data siloTraceData
 	if err := json.Unmarshal(raw, &data); err != nil {
-		return nil, nil, fmt.Errorf("%s: span payload: %w", path, err)
+		return nil, nil, nil, fmt.Errorf("%s: span payload: %w", path, err)
 	}
-	return data.Ports, data.Spans, nil
+	return data.Meta, data.Ports, data.Spans, nil
 }
 
-// parseSpansCSV rebuilds spans from the compact CSV.
+// parseSpansCSV rebuilds spans from the compact CSV. Leading "#"
+// comment lines (run provenance) are skipped.
 func parseSpansCSV(text string) ([]FlightSpan, error) {
 	lines := strings.Split(strings.TrimSpace(text), "\n")
+	for len(lines) > 0 && strings.HasPrefix(strings.TrimSpace(lines[0]), "#") {
+		lines = lines[1:]
+	}
 	if len(lines) == 0 {
 		return nil, fmt.Errorf("empty CSV")
 	}

@@ -13,6 +13,21 @@ import (
 
 // WriteCSV writes a header and numeric rows.
 func WriteCSV(w io.Writer, header []string, rows [][]float64) error {
+	return WriteCSVComment(w, "", header, rows)
+}
+
+// WriteCSVComment writes a CSV with a leading "#" provenance comment
+// (e.g. obs.RunMeta.CommentLine) before the header; empty means none.
+// Plotting tools and the repo's readers treat "#" lines as comments.
+func WriteCSVComment(w io.Writer, comment string, header []string, rows [][]float64) error {
+	if comment != "" {
+		if !strings.HasPrefix(comment, "#") {
+			comment = "# " + comment
+		}
+		if _, err := fmt.Fprintln(w, comment); err != nil {
+			return err
+		}
+	}
 	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
 		return err
 	}
@@ -30,6 +45,11 @@ func WriteCSV(w io.Writer, header []string, rows [][]float64) error {
 
 // WriteCSVFile writes a CSV to dir/name, creating dir if needed.
 func WriteCSVFile(dir, name string, header []string, rows [][]float64) error {
+	return WriteCSVFileComment(dir, name, "", header, rows)
+}
+
+// WriteCSVFileComment is WriteCSVFile with a provenance comment line.
+func WriteCSVFileComment(dir, name, comment string, header []string, rows [][]float64) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -38,7 +58,7 @@ func WriteCSVFile(dir, name string, header []string, rows [][]float64) error {
 		return err
 	}
 	defer f.Close()
-	return WriteCSV(f, header, rows)
+	return WriteCSVComment(f, comment, header, rows)
 }
 
 // CDFRows converts a sample's CDF into CSV rows (value, fraction).
