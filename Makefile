@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all ci vet build test test-race test-faults test-parallel test-incidents bench-placement bench-obs bench-telemetry bench-introspect bench-incident regress baselines
+.PHONY: all ci vet build test test-race test-faults test-parallel test-incidents bench-placement bench-obs bench-telemetry bench-introspect bench-incident bench-runtime regress baselines
 
 all: vet build test
 
@@ -35,9 +35,12 @@ test-faults:
 # The parallel-simulator determinism gates under the race detector:
 # every equivalence test drives the island engine at worker counts
 # {1, 2, 8} (and 4, for the full-summary gate) against the sequential
-# simulator and requires byte-identical results.
+# simulator and requires byte-identical results. Runtime covers the
+# engine self-observability plane: the busy+stall accounting property
+# at workers {1,2,4,8}, probe-on determinism, probing under injected
+# island faults, and the hot-pod straggler analysis.
 test-parallel:
-	$(GO) test -race -run 'Parallel|GlobalEvents|CrossIsland' ./internal/netsim/ ./internal/experiments/ ./internal/faults/
+	$(GO) test -race -run 'Parallel|GlobalEvents|CrossIsland|Runtime|SimCounters|HotPod' ./internal/netsim/ ./internal/experiments/ ./internal/faults/
 
 # The incident-correlation suite: the correlator's clustering and
 # verdict unit tests, the end-to-end proofs (ToR-death drill verdicts
@@ -73,6 +76,12 @@ bench-introspect:
 bench-incident:
 	$(GO) test -run '^$$' -bench BenchmarkIncidentOverhead -benchmem ./internal/obs/incident/
 
+# Asserts the engine self-observability plane (RuntimeProbe + engine
+# counters + silo_runtime_* families) costs zero allocations per packet
+# on the parallel hot path (see README.md "Runtime plane").
+bench-runtime:
+	$(GO) test -run '^$$' -bench BenchmarkRuntimeOverhead -benchmem .
+
 # Runs the microbenchmarks and compares them against the committed
 # BENCH_*.json baselines; exits non-zero on regression.
 regress:
@@ -81,4 +90,4 @@ regress:
 # Regenerates the committed microbenchmark baselines in place. Run on a
 # quiet machine and commit the diff deliberately.
 baselines:
-	$(GO) run ./cmd/silo-bench -run placeub,pacerub,netsimub,netsimpar,introspectub,incidentub -bench-json .
+	$(GO) run ./cmd/silo-bench -run placeub,pacerub,netsimub,netsimpar,introspectub,incidentub,runtimeub -bench-json .

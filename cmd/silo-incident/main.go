@@ -34,6 +34,10 @@ func main() {
 		csvOut  = flag.String("csv", "", "export incidents as CSV to the path ('-' = stdout)")
 		jsonOut = flag.String("json", "", "re-export the report as JSON to the path ('-' = stdout)")
 		quiet   = flag.Bool("q", false, "suppress the incident list (exports/drill-down only)")
+
+		metricsOut = flag.String("metrics", "", "export report metrics on exit (\"-\" = Prometheus to stdout, *.json = expvar JSON, else Prometheus to file)")
+		httpAddr   = flag.String("http", "", "serve /metrics and /debug/vars on this address while the tool runs")
+		pprofOn    = flag.Bool("pprof", false, "additionally expose /debug/pprof on the -http address")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: silo-incident [flags] <incidents.json>\n")
@@ -44,17 +48,37 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	for flagName, p := range map[string]string{"-csv": *csvOut, "-json": *jsonOut} {
+	for flagName, p := range map[string]string{"-csv": *csvOut, "-json": *jsonOut, "-metrics": *metricsOut} {
 		if err := obs.ValidateOutputPath(flagName, p); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
 	}
 
+	reg, _, finishObs, err := obs.StartCLI(obs.CLIConfig{
+		MetricsPath: *metricsOut, HTTPAddr: *httpAddr, Pprof: *pprofOn,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	rep, err := incident.ReadFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	reg.GaugeFunc("silo_incident_total", "incidents in the loaded report",
+		func() float64 { return float64(len(rep.Incidents)) })
+	reg.GaugeFunc("silo_incident_violations_total", "per-packet guarantee violations across all incidents",
+		func() float64 { return float64(rep.TotalViolations) })
+	reg.GaugeFunc("silo_incident_bound_breaches", "paper-falsifying bound-breach incidents",
+		func() float64 { return float64(rep.BoundBreaches) })
+	byVerdict := rep.ByVerdict()
+	for _, v := range incident.Verdicts() {
+		n := byVerdict[v]
+		reg.GaugeFunc("silo_incident_verdict_total", "incidents by root-cause verdict",
+			func() float64 { return float64(n) }, "verdict", v.String())
 	}
 	if m := rep.Meta; m != nil {
 		fmt.Printf("recorded by: %s\n", strings.TrimPrefix(m.CommentLine(), "# run: "))
@@ -86,6 +110,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+	if err := finishObs(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 	if rep.BoundBreaches > 0 {
 		os.Exit(1)

@@ -33,6 +33,7 @@ import (
 	"repro/internal/obs/dashboard"
 	"repro/internal/obs/incident"
 	"repro/internal/obs/introspect"
+	obsruntime "repro/internal/obs/runtime"
 	"repro/internal/obs/slo"
 	"repro/internal/obs/timeseries"
 	"repro/internal/pacer"
@@ -68,6 +69,8 @@ func main() {
 		faultSched   = flag.String("fault", "", "fault schedule, e.g. \"t=20ms link 14 down; t=30ms up\" or \"t=20ms switch tor0 down\" (targets: link PORT, switch core|podN|torN, host ID; actions: down, up, gray DUR, flap NxDOWN/UP)")
 		faultDetect  = flag.Duration("fault-detect", 500*time.Microsecond, "control-loop detection delay between an injected fault and the placement Recover call (silo scheme only)")
 		workers      = flag.Int("workers", 0, "parallel island workers (0 = sequential engine; >0 partitions the fabric into per-pod islands under conservative lookahead)")
+		rtReport     = flag.Bool("runtime-report", false, "print the engine self-telemetry report after the run (worker/island busy vs. barrier stall, wheel/arena pressure, imbalance analysis)")
+		profEpochs   = flag.Int("profile-epochs", 0, "sample Go runtime metrics every N epoch barriers (sequential engine: every N telemetry windows) and print the bracketed profile after the run")
 	)
 	flag.Parse()
 
@@ -184,6 +187,12 @@ func main() {
 	depA.EnableTelemetry(nw, reg, audit, bm)
 	depB.EnableTelemetry(nw, reg, audit, bm)
 	nw.RegisterMetrics(reg)
+	// Engine self-telemetry: the silo_runtime_* families (and, in
+	// parallel mode, the worker/island probe behind them).
+	obsruntime.Register(reg, nw)
+	if *rtReport && nw.PS != nil {
+		nw.PS.AttachRuntime()
+	}
 	tenantOf := func(vmID int) (int, bool) {
 		switch {
 		case vmID >= 1000 && vmID < 1000+*vmsA:
@@ -239,6 +248,24 @@ func main() {
 	horizon := int64(*duration * 1e9)
 	drainEnd := horizon + int64(3e9)
 	windowNs := int64(*windowMs * 1e6)
+
+	// Continuous profiling, bracketed where the engine is quiescent: at
+	// epoch barriers (all workers parked) in parallel mode, at telemetry
+	// window ticks on the sequential engine.
+	var prof *obsruntime.Profiler
+	if *profEpochs > 0 {
+		prof = obsruntime.NewProfiler(int64(*profEpochs))
+		if nw.PS != nil {
+			nw.PS.AttachRuntime().OnEpoch = prof.Hook()
+		} else {
+			hook := prof.Hook()
+			var tick int64
+			nw.Sim.Every(windowNs, drainEnd, func(int64) {
+				tick++
+				hook(tick)
+			})
+		}
+	}
 
 	// Fault injection: parse and validate the -fault schedule, and (on
 	// the silo scheme, whose placer is the full Manager) close the
@@ -333,6 +360,7 @@ func main() {
 		Ports:     nw.PortMeta(),
 		Incidents: corr,
 		Meta:      &meta,
+		Runtime:   func() obsruntime.Stats { return obsruntime.Collect(nw) },
 	}
 	if srv != nil {
 		dashboard.Attach(srv, dashOpts)
@@ -427,6 +455,16 @@ func main() {
 		}
 	}
 	fmt.Println(audit.Summary())
+	if *rtReport {
+		st := obsruntime.Collect(nw)
+		fmt.Print(st.Render())
+		if nw.PS != nil {
+			fmt.Print(obsruntime.Analyze(st).Render())
+		}
+	}
+	if prof != nil {
+		fmt.Print(prof.Render())
+	}
 	if inj != nil {
 		fmt.Println("fault injection:")
 		for _, ev := range inj.Events() {

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// BenchHistoryFile is the default append-only perf-trajectory log
+// (silo-bench -history). One JSON BenchRecord per line, each stamped
+// with RunMeta provenance and a wall-clock RecordedUnix, so the
+// repository tracks how every benchmark moved across PRs instead of
+// only gating against the latest committed baseline.
+const BenchHistoryFile = "BENCH_HISTORY.jsonl"
+
+// AppendBenchHistory appends recs to the JSONL history at path,
+// stamping each with meta and now (defaults to time.Now). The file is
+// created if missing; existing lines are never rewritten.
+func AppendBenchHistory(path string, recs []BenchRecord, meta *obs.RunMeta, now time.Time) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	if now.IsZero() {
+		now = time.Now()
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for _, rec := range recs {
+		if rec.Meta == nil {
+			rec.Meta = meta
+		}
+		rec.RecordedUnix = now.Unix()
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		w.Write(b)
+		w.WriteByte('\n')
+	}
+	return w.Flush()
+}
+
+// ReadBenchHistory loads every record in the JSONL history, oldest
+// first. A missing file is an empty history, not an error; a malformed
+// line reports its line number.
+func ReadBenchHistory(path string) ([]BenchRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	var out []BenchRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec BenchRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

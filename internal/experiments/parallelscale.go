@@ -9,6 +9,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/obs/incident"
+	obsruntime "repro/internal/obs/runtime"
 	"repro/internal/obs/slo"
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -50,6 +51,14 @@ type ParallelScaleParams struct {
 	// cross-pod traffic populates the violation/burn tables
 	// deterministically.
 	DelayBoundNs int64
+	// HotPod/HotFactor build an intentionally imbalanced topology for
+	// the runtime-plane imbalance study: every host in pod HotPod
+	// injects HotFactor × PacketsPerHost packets. HotFactor <= 1 (the
+	// zero value) keeps the workload uniform. The skew only lengthens
+	// the hot hosts' generator runs, so the tie-free construction — and
+	// byte-identity across engines — is unchanged.
+	HotPod    int
+	HotFactor int
 }
 
 // DefaultParallelScaleParams is the 16-pod, 64-host configuration the
@@ -112,6 +121,11 @@ type ParallelScaleResult struct {
 	// Incidents is the correlated incident report; its rendering is
 	// part of Summary, so it is held to the same byte-identity bar.
 	Incidents *incident.Report
+	// Runtime is the engine self-telemetry report and Analysis its
+	// imbalance verdict. Both carry wall-clock timings, so they are
+	// deliberately NOT part of Summary (the determinism surface).
+	Runtime  obsruntime.Stats
+	Analysis obsruntime.Analysis
 }
 
 // PacketsPerSec reports aggregate simulated-packet throughput.
@@ -188,16 +202,31 @@ func RunParallelScale(p ParallelScaleParams) (ParallelScaleResult, error) {
 	var nw *netsim.Network
 	if p.Workers >= 1 {
 		nw = netsim.BuildParallel(tree, opts, netsim.ParallelOptions{Workers: p.Workers})
+		// The probe is purely observational, so it rides along on every
+		// parallel run — the equivalence tests exercising this path are
+		// therefore also the proof that telemetry-on output is
+		// byte-identical to telemetry-off.
+		nw.PS.AttachRuntime()
 	} else {
 		nw = netsim.Build(netsim.NewSim(), tree, opts)
 	}
 
 	hosts := len(nw.Hosts)
 	hostsPerPod := p.RacksPerPod * p.ServersPerRack
+	maxPkts := p.PacketsPerHost
+	if p.HotFactor > 1 {
+		maxPkts = p.PacketsPerHost * p.HotFactor
+	}
+	var injected int64
 	gens := make([]*scaleGen, hosts)
 	for h := 0; h < hosts; h++ {
 		pod := h / hostsPerPod
 		base := pod * hostsPerPod
+		quota := p.PacketsPerHost
+		if p.HotFactor > 1 && pod == p.HotPod {
+			quota = maxPkts
+		}
+		injected += int64(quota)
 		g := &scaleGen{
 			host: nw.Hosts[h],
 			// Rack-local neighbour (wrapping inside the pod) and the
@@ -206,7 +235,7 @@ func RunParallelScale(p ParallelScaleParams) (ParallelScaleResult, error) {
 			crossDst:  (h + hostsPerPod) % hosts,
 			crossMod:  p.CrossPodEvery,
 			size:      size,
-			remaining: p.PacketsPerHost,
+			remaining: quota,
 			gapNs:     gapNs,
 		}
 		g.fn = g.send
@@ -243,7 +272,7 @@ func RunParallelScale(p ParallelScaleParams) (ParallelScaleResult, error) {
 	// Horizon: the last injection plus ample drain time, rounded to an
 	// even number so the final flush stays tie-free.
 	lastStart := int64(14*(hosts-1) + 1)
-	horizon := lastStart + int64(p.PacketsPerHost)*gapNs + 1_000_000
+	horizon := lastStart + int64(maxPkts)*gapNs + 1_000_000
 	horizon += horizon & 1
 	nw.Sim.Every(p.WindowNs, horizon, func(now int64) {
 		engine.Flush(now)
@@ -265,8 +294,12 @@ func RunParallelScale(p ParallelScaleParams) (ParallelScaleResult, error) {
 	}
 
 	var b strings.Builder
-	fmt.Fprintf(&b, "parallelscale: pods=%d hosts=%d pkts/host=%d crossEvery=%d window=%dns bound=%dns\n",
-		p.Pods, hosts, p.PacketsPerHost, p.CrossPodEvery, p.WindowNs, p.DelayBoundNs)
+	hot := ""
+	if p.HotFactor > 1 {
+		hot = fmt.Sprintf(" hotPod=%d hotFactor=%d", p.HotPod, p.HotFactor)
+	}
+	fmt.Fprintf(&b, "parallelscale: pods=%d hosts=%d pkts/host=%d crossEvery=%d window=%dns bound=%dns%s\n",
+		p.Pods, hosts, p.PacketsPerHost, p.CrossPodEvery, p.WindowNs, p.DelayBoundNs, hot)
 	b.WriteString("port,enq,sent,sentB,drop,faultDrop,ecn,hwm\n")
 	for pid, q := range nw.Queues {
 		if q == nil {
@@ -291,12 +324,14 @@ func RunParallelScale(p ParallelScaleParams) (ParallelScaleResult, error) {
 	res := ParallelScaleResult{
 		Incidents:   rep,
 		Summary:     b.String(),
-		Packets:     int64(hosts) * int64(p.PacketsPerHost),
+		Packets:     injected,
 		Delivered:   delivered,
 		Events:      events,
 		SimulatedNs: nw.Sim.Now(),
 		ElapsedNs:   elapsed.Nanoseconds(),
+		Runtime:     obsruntime.Collect(nw),
 	}
+	res.Analysis = obsruntime.Analyze(res.Runtime)
 	if nw.PS != nil {
 		res.Epochs = nw.PS.Epochs()
 	}

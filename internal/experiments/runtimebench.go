@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	obsruntime "repro/internal/obs/runtime"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// RunRuntimeBench is the runtime-plane overhead benchmark
+// ("runtimeub"): the exact netsimpar workload with the full runtime
+// plane on — probe attached, silo_runtime_* families registered — so
+// its committed baseline gates the cost of engine self-observation
+// against the bare parallel engine. The per-op comparison to
+// BENCH_netsim_parallel.json is the plane's marginal cost; the
+// regression gate requires allocs/op to stay 0 (the probe may cost a
+// few wall-clock ns per event, never an allocation).
+func RunRuntimeBench(p NetsimParallelBenchParams) (BenchRecord, error) {
+	d := DefaultNetsimParallelBenchParams()
+	if p.Pods <= 0 {
+		p.Pods = d.Pods
+	}
+	if p.PacketsPerHost <= 0 {
+		p.PacketsPerHost = d.PacketsPerHost
+	}
+	if p.Reps <= 0 {
+		p.Reps = d.Reps
+	}
+	if p.Workers <= 0 {
+		p.Workers = d.Workers
+	}
+	tree, err := topology.New(topology.Config{
+		Pods:           p.Pods,
+		RacksPerPod:    2,
+		ServersPerRack: 2,
+		SlotsPerServer: 4,
+		LinkBps:        10 * gbps,
+		BufferBytes:    312e3,
+		NICBufferBytes: 150e3,
+		RackOversub:    1,
+		PodOversub:     1,
+	})
+	if err != nil {
+		return BenchRecord{}, err
+	}
+	nw := netsim.BuildParallel(tree, netsim.Options{PropNs: 200}, netsim.ParallelOptions{
+		Workers:     p.Workers,
+		CrossPropNs: 2000,
+	})
+	// The full plane: probe plus pull-time metric families. Registration
+	// happens before the measured region, as in a real run.
+	reg := obs.NewRegistry()
+	obsruntime.Register(reg, nw)
+
+	hosts := len(nw.Hosts)
+	hostsPerPod := 4
+	const size = 1500
+	const gapNs = 1400
+	gens := make([]*scaleGen, hosts)
+	for h := 0; h < hosts; h++ {
+		pod := h / hostsPerPod
+		base := pod * hostsPerPod
+		g := &scaleGen{
+			host:     nw.Hosts[h],
+			localDst: base + (h-base+1)%hostsPerPod,
+			crossDst: (h + hostsPerPod) % hosts,
+			crossMod: 4,
+			size:     size,
+			gapNs:    gapNs,
+		}
+		g.fn = g.send
+		gens[h] = g
+		host := nw.Hosts[h]
+		g2 := g
+		host.OnDeliver = func(*netsim.Packet, int64) { g2.delivered++ }
+		host.FreeOnDeliver = true
+	}
+
+	perPacket := stats.NewSample(p.Reps)
+	rec := BenchRecord{Benchmark: "runtimeub", Hosts: hosts}
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for rep := 0; rep < p.Reps; rep++ {
+		repStart := time.Now()
+		base := nw.Sim.Now()
+		for h, g := range gens {
+			g.remaining = p.PacketsPerHost
+			nw.Sim.At(base+int64(14*h+1), g.fn)
+		}
+		nw.Run(base + int64(p.PacketsPerHost)*gapNs + int64(1e6))
+		perPacket.Add(float64(time.Since(repStart).Nanoseconds()) / float64(p.PacketsPerHost*hosts))
+	}
+	rec.TotalNs = time.Since(start).Nanoseconds()
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
+	var delivered int64
+	for _, g := range gens {
+		delivered += g.delivered
+	}
+	rec.Requests = p.Reps * p.PacketsPerHost * hosts
+	rec.Accepted = int(delivered)
+	if rec.Requests > 0 {
+		rec.AllocsPerOp = int64(ms1.Mallocs-ms0.Mallocs) / int64(rec.Requests)
+	}
+	rec.MeanNs = int64(perPacket.Mean())
+	rec.P50Ns = int64(perPacket.Percentile(50))
+	rec.P99Ns = int64(perPacket.Percentile(99))
+	rec.MaxNs = int64(perPacket.Max())
+	// Exporting after the measured region keeps the gauge functions
+	// honest (they must be callable) without timing the exporter.
+	_ = reg.Snapshot()
+	return rec, nil
+}

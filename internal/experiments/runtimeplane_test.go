@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestHotPodStragglerAnalysis is the runtime-plane e2e on an
+// intentionally imbalanced fabric: every host in the hot pod injects 8×
+// the uniform quota, so that pod's island dominates busy time and the
+// analyzer must name it as the straggler. Only structural facts are
+// asserted — which island, and that the recommendation stays in range —
+// never wall-clock magnitudes.
+func TestHotPodStragglerAnalysis(t *testing.T) {
+	params := ParallelScaleParams{
+		Pods:           4,
+		PacketsPerHost: 150,
+		WindowNs:       100_000,
+		HotPod:         1,
+		HotFactor:      8,
+		Workers:        2,
+	}
+	res, err := RunParallelScale(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != res.Packets {
+		t.Fatalf("delivered %d of %d packets", res.Delivered, res.Packets)
+	}
+	// 3 uniform pods at 150 pkts × 4 hosts, the hot pod at 1200 × 4.
+	if want := int64(3*4*150 + 4*8*150); res.Packets != want {
+		t.Fatalf("injected %d packets, want %d", res.Packets, want)
+	}
+	if !strings.Contains(res.Summary, "hotPod=1 hotFactor=8") {
+		t.Error("summary header does not record the hot-pod skew")
+	}
+
+	st := res.Runtime
+	if !st.Parallel || st.Coord == nil {
+		t.Fatalf("runtime plane missing from parallel run: %+v", st)
+	}
+	if st.Coord.Epochs != res.Epochs {
+		t.Errorf("probe epochs %d != engine epochs %d", st.Coord.Epochs, res.Epochs)
+	}
+	// The hot pod's island executes ~8× the events of any uniform pod's.
+	hotEvents, maxOther := int64(0), int64(0)
+	for _, is := range st.Islands {
+		if is.Island == params.HotPod {
+			hotEvents = is.Events
+		} else if is.Events > maxOther {
+			maxOther = is.Events
+		}
+	}
+	if hotEvents <= maxOther {
+		t.Errorf("hot island executed %d events, another island %d — skew did not land",
+			hotEvents, maxOther)
+	}
+
+	a := res.Analysis
+	if !a.Parallel {
+		t.Fatal("analysis missing")
+	}
+	if a.Straggler != params.HotPod {
+		t.Errorf("straggler = island %d, want the hot pod's island %d\n%s",
+			a.Straggler, params.HotPod, st.Render())
+	}
+	if even := 1.0 / float64(len(st.Islands)); a.StragglerShare <= even {
+		t.Errorf("straggler share %.2f not above even share %.2f", a.StragglerShare, even)
+	}
+	if a.StallFraction < 0 || a.StallFraction > 1 {
+		t.Errorf("stall fraction %.2f out of [0,1]", a.StallFraction)
+	}
+	if a.RecommendedWorkers < 1 || a.RecommendedWorkers > len(st.Islands) {
+		t.Errorf("recommended workers %d out of [1,%d]", a.RecommendedWorkers, len(st.Islands))
+	}
+	if a.Hint == "" {
+		t.Error("empty hint")
+	}
+}
+
+// TestHotPodEquivalence: the hot-pod skew only lengthens generator
+// runs, so the determinism surface must stay byte-identical between the
+// sequential and parallel engines even under imbalance.
+func TestHotPodEquivalence(t *testing.T) {
+	params := ParallelScaleParams{
+		Pods:           4,
+		PacketsPerHost: 100,
+		WindowNs:       100_000,
+		HotPod:         2,
+		HotFactor:      4,
+	}
+	params.Workers = 0
+	ref, err := RunParallelScale(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params.Workers = 3
+	got, err := RunParallelScale(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Summary != ref.Summary {
+		d := firstDiff(ref.Summary, got.Summary)
+		t.Errorf("hot-pod summary diverges at byte %d:\n seq: %.120q\n par: %.120q",
+			d, tail(ref.Summary, d), tail(got.Summary, d))
+	}
+}
+
+func TestBenchHistoryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+
+	// Missing file reads as an empty history.
+	if recs, err := ReadBenchHistory(path); err != nil || recs != nil {
+		t.Fatalf("missing file: recs=%v err=%v", recs, err)
+	}
+
+	meta := &obs.RunMeta{Tool: "silo-bench"}
+	now := time.Unix(1754000000, 0)
+	batch1 := []BenchRecord{
+		{Benchmark: "netsimub", MeanNs: 100},
+		{Benchmark: "netsimpar", MeanNs: 50, Meta: &obs.RunMeta{Tool: "custom"}},
+	}
+	if err := AppendBenchHistory(path, batch1, meta, now); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendBenchHistory(path, []BenchRecord{{Benchmark: "runtimeub", MeanNs: 7}}, meta, now.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := ReadBenchHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("history has %d records, want 3", len(recs))
+	}
+	if recs[0].Benchmark != "netsimub" || recs[0].RecordedUnix != now.Unix() {
+		t.Errorf("record 0: %+v", recs[0])
+	}
+	if recs[0].Meta == nil || recs[0].Meta.Tool != "silo-bench" {
+		t.Errorf("record 0 not stamped with the batch meta: %+v", recs[0].Meta)
+	}
+	// A record carrying its own meta keeps it.
+	if recs[1].Meta == nil || recs[1].Meta.Tool != "custom" {
+		t.Errorf("record 1 lost its own meta: %+v", recs[1].Meta)
+	}
+	if recs[2].Benchmark != "runtimeub" || recs[2].RecordedUnix != now.Add(time.Hour).Unix() {
+		t.Errorf("record 2: %+v", recs[2])
+	}
+
+	// Appending nothing is a no-op that must not create or touch files.
+	if err := AppendBenchHistory(filepath.Join(t.TempDir(), "missing", "x.jsonl"), nil, nil, time.Time{}); err != nil {
+		t.Fatalf("empty append: %v", err)
+	}
+}
+
+func TestBenchHistoryMalformed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	if err := AppendBenchHistory(path, []BenchRecord{{Benchmark: "a"}}, nil, time.Unix(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendRaw(path, "{not json\n"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadBenchHistory(path)
+	if err == nil || !strings.Contains(err.Error(), ":2:") {
+		t.Fatalf("malformed line not reported with its number: %v", err)
+	}
+}
+
+func appendRaw(path, line string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteString(line)
+	return err
+}

@@ -1,0 +1,93 @@
+package faults
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+// TestRuntimeProbeUnderFaults runs the cross-island fault drill — an
+// inter-island uplink killed mid-epoch, dropping queued and in-flight
+// packets — with the runtime probe attached, and checks that (a) fault
+// accounting is unperturbed by probing and (b) the probe's barrier
+// accounting stays coherent while islands starve: the pod cut off from
+// its sink keeps its worker spinning at barriers, but every worker
+// still runs every epoch and busy+stall stays inside the loop lifetime.
+func TestRuntimeProbeUnderFaults(t *testing.T) {
+	refPort, refTotal := runCrossIslandFault(t, 0)
+
+	tree, err := topology.New(topology.Config{
+		Pods:           2,
+		RacksPerPod:    2,
+		ServersPerRack: 2,
+		SlotsPerServer: 4,
+		LinkBps:        10 * gbps,
+		BufferBytes:    312e3,
+		NICBufferBytes: 312e3,
+		RackOversub:    1,
+		PodOversub:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := netsim.BuildParallel(tree, netsim.Options{PropNs: 200}, netsim.ParallelOptions{Workers: 2})
+	rt := nw.PS.AttachRuntime()
+
+	hostsPerPod := 4
+	for h := 0; h < hostsPerPod; h++ {
+		g := &xGen{host: nw.Hosts[h], dst: h + hostsPerPod, remaining: 600}
+		g.fn = g.send
+		g.host.Sim().At(int64(14*h+1), g.fn)
+		nw.Hosts[h+hostsPerPod].FreeOnDeliver = true
+	}
+	in := NewInjector(nw)
+	uplink := tree.PodUpPortID(0)
+	sched, err := ParseSchedule(fmt.Sprintf("t=200us link %d down, t=500us link %d up", uplink, uplink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Apply(sched); err != nil {
+		t.Fatal(err)
+	}
+	nw.Run(2_000_000)
+
+	if got := nw.Queues[uplink].Stats.FaultDroppedPkts; got != refPort {
+		t.Errorf("probed run port drops %d, probe-free reference %d", got, refPort)
+	}
+	if got := nw.TotalFaultDrops(); got != refTotal {
+		t.Errorf("probed run total drops %d, probe-free reference %d", got, refTotal)
+	}
+
+	c := rt.Coord
+	if c.Epochs == 0 {
+		t.Fatal("no epochs under faults")
+	}
+	if c.GlobalRuns == 0 {
+		t.Error("fault schedule ran no Global batches")
+	}
+	var stalled int64
+	for w := 0; w < rt.NumWorkers(); w++ {
+		wr := rt.Worker(w)
+		if wr.Epochs != c.Epochs {
+			t.Errorf("worker %d ran %d epochs, coordinator %d", w, wr.Epochs, c.Epochs)
+		}
+		if sum := wr.BusyNs + wr.StallNs; sum > wr.LoopNs {
+			t.Errorf("worker %d busy+stall %d exceeds loop %d under faults", w, sum, wr.LoopNs)
+		}
+		stalled += wr.StallNs
+	}
+	if stalled == 0 {
+		t.Error("no barrier stall recorded while an island was cut off")
+	}
+	var sent, recv int64
+	for i := 0; i < rt.NumIslands(); i++ {
+		sent += rt.IslandRT(i).CrossSent
+		recv += rt.IslandRT(i).CrossRecv
+	}
+	if sent != recv || sent != c.CrossMerged {
+		t.Errorf("cross conservation broke under faults: sent %d recv %d merged %d",
+			sent, recv, c.CrossMerged)
+	}
+}

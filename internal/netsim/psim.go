@@ -75,6 +75,10 @@ type ParallelSim struct {
 
 	mergeBuf []crossEvent
 	epochs   int64
+
+	// rt is the optional self-telemetry probe (see runtime.go). Nil
+	// keeps every probe site at a single pointer test.
+	rt *RuntimeProbe
 }
 
 // NewParallelSim builds a coordinator for nIslands islands advanced by
@@ -132,6 +136,11 @@ func (ps *ParallelSim) RunCtx(ctx context.Context, until int64) int {
 	for _, is := range ps.islands {
 		startExec += is.nExec
 	}
+	rt := ps.rt
+	var runStart int64
+	if rt != nil {
+		runStart = rt.now()
+	}
 	ps.startWorkers()
 	for {
 		select {
@@ -167,20 +176,54 @@ func (ps *ParallelSim) RunCtx(ctx context.Context, until int64) int {
 				}
 			}
 			nGlobal += ps.Global.Run(gmin)
+			if rt != nil {
+				rt.Coord.GlobalRuns++
+			}
 			continue
 		}
 		if hmin > until {
 			break
 		}
+		// Which bound closes the epoch: the lookahead window (0), a
+		// pending Global event (1), or the run horizon (2).
 		end := hmin + ps.Lookahead
+		bound := 0
 		if gmin < end {
 			end = gmin
+			bound = 1
 		}
 		if until+1 < end {
 			end = until + 1
+			bound = 2
 		}
-		ps.runEpochParallel(end)
-		ps.exchange()
+		if rt == nil {
+			ps.runEpochParallel(end)
+			ps.exchange()
+		} else {
+			switch bound {
+			case 0:
+				rt.Coord.BoundLookahead++
+			case 1:
+				rt.Coord.BoundGlobal++
+			default:
+				rt.Coord.BoundHorizon++
+			}
+			win := end - hmin
+			rt.Coord.WindowSumNs += win
+			if win < rt.Coord.WindowMinNs {
+				rt.Coord.WindowMinNs = win
+			}
+			if win > rt.Coord.WindowMaxNs {
+				rt.Coord.WindowMaxNs = win
+			}
+			rt.Coord.Epochs++
+			b0 := rt.now()
+			ps.runEpochParallel(end)
+			b1 := rt.now()
+			ps.exchange()
+			rt.Coord.BarrierNs += b1 - b0
+			rt.Coord.MergeNs += rt.now() - b1
+		}
 		ps.epochs++
 		// Keep the global clock at the barrier time so Global.Now()
 		// matches every island clock between epochs (capped at until:
@@ -190,9 +233,16 @@ func (ps *ParallelSim) RunCtx(ctx context.Context, until int64) int {
 		if g := min(end, until); ps.Global.now < g {
 			ps.Global.now = g
 		}
+		if rt != nil && rt.OnEpoch != nil {
+			// All workers are parked: the hook may read island state.
+			rt.OnEpoch(ps.epochs)
+		}
 	}
 done:
 	ps.stopWorkers()
+	if rt != nil {
+		rt.Coord.WallNs += rt.now() - runStart
+	}
 	for _, is := range ps.islands {
 		if is.now < until {
 			is.now = until
@@ -222,18 +272,26 @@ func (ps *ParallelSim) runEpochParallel(end int64) {
 // and resets the outboxes. Runs on the coordinator with all workers
 // parked.
 func (ps *ParallelSim) exchange() {
+	rt := ps.rt
 	for d, dst := range ps.islands {
 		buf := ps.mergeBuf[:0]
-		for _, src := range ps.islands {
+		for si, src := range ps.islands {
 			out := src.outbox[d]
 			if len(out) == 0 {
 				continue
+			}
+			if rt != nil {
+				rt.islands[si].CrossSent += int64(len(out))
 			}
 			buf = append(buf, out...)
 			src.outbox[d] = out[:0]
 		}
 		if len(buf) == 0 {
 			continue
+		}
+		if rt != nil {
+			rt.islands[d].CrossRecv += int64(len(buf))
+			rt.Coord.CrossMerged += int64(len(buf))
 		}
 		// Stable insertion sort by arrival time: appending in source
 		// island order made the buffer (source, emission)-ordered, and
@@ -276,16 +334,48 @@ func (ps *ParallelSim) stopWorkers() {
 }
 
 func (ps *ParallelSim) workerLoop(w int, phase uint32) {
+	// Snapshot the probe once: AttachRuntime happens before Run, so the
+	// pool either observes everything or nothing for its lifetime. The
+	// worker is the sole writer of its WorkerRuntime slot (and of the
+	// BusyNs of the islands it owns); the coordinator reads them only
+	// with the worker parked — the barrier atomics order the accesses,
+	// and LoopNs is written before the final arrived.Add below.
+	rt := ps.rt
+	var loopStart, t0 int64
+	if rt != nil {
+		loopStart = rt.now()
+		t0 = loopStart
+	}
 	for {
 		spinWait(func() bool { return ps.phase.Load() != phase })
 		phase = ps.phase.Load()
+		if rt != nil {
+			t := rt.now()
+			rt.workers[w].StallNs += t - t0
+			t0 = t
+		}
 		if ps.stopping.Load() {
+			if rt != nil {
+				rt.workers[w].LoopNs += rt.now() - loopStart
+			}
 			ps.arrived.Add(1)
 			return
 		}
 		end := ps.epochEnd.Load()
-		for i := w; i < len(ps.islands); i += ps.Workers {
-			ps.islands[i].runEpoch(end)
+		if rt == nil {
+			for i := w; i < len(ps.islands); i += ps.Workers {
+				ps.islands[i].runEpoch(end)
+			}
+		} else {
+			for i := w; i < len(ps.islands); i += ps.Workers {
+				b0 := rt.now()
+				ps.islands[i].runEpoch(end)
+				d := rt.now() - b0
+				rt.workers[w].BusyNs += d
+				rt.islands[i].BusyNs += d
+			}
+			rt.workers[w].Epochs++
+			t0 = rt.now()
 		}
 		ps.arrived.Add(1)
 	}

@@ -110,6 +110,11 @@ type Sim struct {
 	island int32
 	outbox [][]crossEvent
 	nExec  int64
+
+	// rtc is the engine's structural-pressure accounting (see
+	// runtime.go). Always on: every update is a plain compare or add
+	// on this single-threaded struct.
+	rtc SimCounters
 }
 
 // NewSim returns an empty standalone simulator at time 0.
@@ -124,11 +129,14 @@ func (s *Sim) alloc() *event {
 	if ev == nil {
 		// Carve a chunk so cold starts do one allocation per 128
 		// events instead of one each.
+		s.rtc.EvMisses++
 		chunk := make([]event, 128)
 		for i := range chunk[:len(chunk)-1] {
 			chunk[i].next = &chunk[i+1]
 		}
 		ev = &chunk[0]
+	} else {
+		s.rtc.EvHits++
 	}
 	s.freeEvents = ev.next
 	ev.next = nil
@@ -152,6 +160,7 @@ func (s *Sim) release(ev *event) {
 func (s *Sim) AllocPacket() *Packet {
 	p := s.freePkts
 	if p == nil {
+		s.rtc.PktMisses++
 		chunk := make([]Packet, 256)
 		for i := range chunk[:len(chunk)-1] {
 			chunk[i].next = &chunk[i+1]
@@ -159,7 +168,12 @@ func (s *Sim) AllocPacket() *Packet {
 		p = &chunk[0]
 		s.freePkts = chunk[0].next
 	} else {
+		s.rtc.PktHits++
 		s.freePkts = p.next
+	}
+	s.rtc.PktInUse++
+	if s.rtc.PktInUse > s.rtc.PktHWM {
+		s.rtc.PktHWM = s.rtc.PktInUse
 	}
 	*p = Packet{}
 	return p
@@ -171,6 +185,7 @@ func (s *Sim) FreePacket(p *Packet) {
 	if p == nil {
 		return
 	}
+	s.rtc.PktInUse--
 	p.Payload = nil
 	p.next = s.freePkts
 	s.freePkts = p
@@ -316,8 +331,14 @@ func (s *Sim) schedule(t int64, kind uint8, gen uint64, fn func(), q *Queue, h *
 		}
 		s.slotTail[slot] = ev
 		s.nWheel++
+		if int64(s.nWheel) > s.rtc.WheelHWM {
+			s.rtc.WheelHWM = int64(s.nWheel)
+		}
 	} else {
 		s.farPush(t, ev.seq, ev)
+		if int64(len(s.far)) > s.rtc.FarHWM {
+			s.rtc.FarHWM = int64(len(s.far))
+		}
 	}
 }
 
@@ -382,6 +403,7 @@ func (s *Sim) step(limit int64, strict bool) bool {
 		ev = s.popSlot(t & wheelMask)
 	}
 	s.now = t
+	s.rtc.Events++
 	s.exec(ev)
 	return true
 }

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/incident"
+	obsruntime "repro/internal/obs/runtime"
 	"repro/internal/obs/slo"
 	"repro/internal/obs/timeseries"
 )
@@ -43,6 +44,10 @@ type Options struct {
 	// Incidents supplies the root-caused incidents panel (the
 	// correlator's most recent Correlate result).
 	Incidents *incident.Correlator
+	// Runtime supplies the Engine panel: a collector producing the
+	// runtime plane's self-telemetry report, evaluated per request
+	// (typically func() { return runtime.Collect(nw) }).
+	Runtime func() obsruntime.Stats
 	// Meta stamps the payload with run provenance.
 	Meta *obs.RunMeta
 }
@@ -59,6 +64,9 @@ type Payload struct {
 	SLO    *SLOView                `json:"slo,omitempty"`
 	// Incidents is the correlator's latest root-caused report.
 	Incidents *incident.Report `json:"incidents,omitempty"`
+	// Runtime is the engine self-telemetry report (worker/island
+	// utilization, barrier stalls, wheel/arena pressure).
+	Runtime *obsruntime.Stats `json:"runtime,omitempty"`
 	// Meta is the producing run's provenance.
 	Meta *obs.RunMeta `json:"meta,omitempty"`
 }
@@ -119,6 +127,10 @@ func BuildPayload(opts Options) Payload {
 	}
 	if opts.Incidents != nil {
 		p.Incidents = opts.Incidents.LastReport()
+	}
+	if opts.Runtime != nil {
+		st := opts.Runtime()
+		p.Runtime = &st
 	}
 	p.Meta = opts.Meta
 	return p

@@ -1,0 +1,113 @@
+package runtime
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Analysis is Analyze's verdict on parallel-engine balance: who the
+// straggler is, how much wall-clock the fleet loses to barrier stalls,
+// and what to do about it.
+type Analysis struct {
+	Parallel bool `json:"parallel"`
+	// Straggler is the island with the most busy wall-clock — the one
+	// every barrier waits for. StragglerShare is its fraction of total
+	// island busy time (1/len(islands) would be perfectly even).
+	Straggler       int     `json:"straggler_island"`
+	StragglerBusyNs int64   `json:"straggler_busy_ns"`
+	StragglerShare  float64 `json:"straggler_share"`
+	// StallFraction is Σ worker stall / Σ worker (busy+stall): the
+	// fleet-wide fraction of attributed wall-clock lost at barriers.
+	StallFraction float64 `json:"stall_fraction"`
+	// RecommendedWorkers is the useful parallelism bound implied by the
+	// busy-time distribution: total busy over the straggler's busy,
+	// clamped to [1, islands]. More workers than this only add
+	// stalling, because epochs cannot finish before the straggler does.
+	CurrentWorkers     int `json:"current_workers"`
+	RecommendedWorkers int `json:"recommended_workers"`
+	// Hint is the human-readable recommendation.
+	Hint string `json:"hint"`
+}
+
+// Analyze reads a collected Stats report and explains where parallel
+// wall-clock went. Zero value (Parallel false) for sequential runs or
+// runs without an attached probe.
+func Analyze(st Stats) Analysis {
+	var a Analysis
+	if !st.Parallel || len(st.Islands) == 0 || len(st.Workers) == 0 {
+		return a
+	}
+	a.Parallel = true
+	a.CurrentWorkers = len(st.Workers)
+	var totalBusy int64
+	for _, is := range st.Islands {
+		totalBusy += is.BusyNs
+		if is.BusyNs > a.StragglerBusyNs {
+			a.StragglerBusyNs = is.BusyNs
+			a.Straggler = is.Island
+		}
+	}
+	if totalBusy > 0 {
+		a.StragglerShare = float64(a.StragglerBusyNs) / float64(totalBusy)
+	}
+	var stall, attributed int64
+	for _, w := range st.Workers {
+		stall += w.StallNs
+		attributed += w.BusyNs + w.StallNs
+	}
+	if attributed > 0 {
+		a.StallFraction = float64(stall) / float64(attributed)
+	}
+	a.RecommendedWorkers = 1
+	if a.StragglerBusyNs > 0 {
+		r := int(math.Round(float64(totalBusy) / float64(a.StragglerBusyNs)))
+		if r < 1 {
+			r = 1
+		}
+		if r > len(st.Islands) {
+			r = len(st.Islands)
+		}
+		a.RecommendedWorkers = r
+	}
+
+	evenShare := 1 / float64(len(st.Islands))
+	switch {
+	case a.StragglerShare > 1.5*evenShare && a.StallFraction > 0.25:
+		a.Hint = fmt.Sprintf(
+			"island %d dominates (%.0f%% of busy time vs %.0f%% even share); "+
+				"workers stall %.0f%% of attributed time waiting for it. "+
+				"Repartition its load (split the hot pod across pods) or run "+
+				"with %d workers — beyond that, extra workers only stall.",
+			a.Straggler, 100*a.StragglerShare, 100*evenShare,
+			100*a.StallFraction, a.RecommendedWorkers)
+	case a.StallFraction > 0.5:
+		a.Hint = fmt.Sprintf(
+			"workers stall %.0f%% of attributed time: epochs are too small "+
+				"for this worker count. Use %d workers, or raise the crossing-link "+
+				"propagation delay (the lookahead bound) so each barrier buys more work.",
+			100*a.StallFraction, a.RecommendedWorkers)
+	default:
+		a.Hint = fmt.Sprintf(
+			"balanced: straggler island %d holds %.0f%% of busy time "+
+				"(even share %.0f%%), stall fraction %.0f%%. Up to %d workers are useful.",
+			a.Straggler, 100*a.StragglerShare, 100*evenShare,
+			100*a.StallFraction, a.RecommendedWorkers)
+	}
+	return a
+}
+
+// Render formats the analysis for the CLI report.
+func (a Analysis) Render() string {
+	if !a.Parallel {
+		return "runtime analysis: sequential engine (no worker fleet to analyze)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "runtime analysis:\n")
+	fmt.Fprintf(&b, "  straggler: island %d (%s busy, %.1f%% of fleet busy time)\n",
+		a.Straggler, fmtNs(a.StragglerBusyNs), 100*a.StragglerShare)
+	fmt.Fprintf(&b, "  stall fraction: %.1f%% of attributed worker time\n", 100*a.StallFraction)
+	fmt.Fprintf(&b, "  workers: %d in use, %d recommended\n", a.CurrentWorkers, a.RecommendedWorkers)
+	fmt.Fprintf(&b, "  %s\n", a.Hint)
+	return b.String()
+}

@@ -1,0 +1,155 @@
+package runtime
+
+import (
+	"fmt"
+	"io"
+	gometrics "runtime/metrics"
+	"strings"
+)
+
+// profMetrics are the Go runtime metrics the epoch profiler samples.
+// Names unsupported by the running toolchain are dropped at
+// construction (KindBad), so the set degrades gracefully.
+var profMetrics = []string{
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/total:bytes",
+	"/gc/heap/allocs:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/sched/goroutines:goroutines",
+}
+
+// ProfRow is one bracketed sample: the Go runtime's state observed at
+// an epoch barrier (all workers parked), aligned with Names().
+type ProfRow struct {
+	Epoch  int64     `json:"epoch"`
+	Values []float64 `json:"values"`
+}
+
+// Profiler captures continuous, epoch-bracketed profiles of the Go
+// runtime underneath the simulator: hook it onto RuntimeProbe.OnEpoch
+// (parallel) or a Sim.Every tick (sequential) and it samples
+// runtime/metrics every N brackets. Because samples land only at
+// barriers, a growth trend between two rows is attributable to the
+// epochs in between — the continuous-profiling primitive behind
+// silo-sim -profile-epochs.
+type Profiler struct {
+	every   int64
+	names   []string
+	samples []gometrics.Sample
+	rows    []ProfRow
+	ticks   int64
+}
+
+// NewProfiler samples every everyBrackets-th bracket (minimum 1).
+func NewProfiler(everyBrackets int64) *Profiler {
+	if everyBrackets < 1 {
+		everyBrackets = 1
+	}
+	p := &Profiler{every: everyBrackets}
+	probe := make([]gometrics.Sample, len(profMetrics))
+	for i, n := range profMetrics {
+		probe[i].Name = n
+	}
+	gometrics.Read(probe)
+	for _, s := range probe {
+		if s.Value.Kind() != gometrics.KindBad {
+			p.names = append(p.names, s.Name)
+			p.samples = append(p.samples, gometrics.Sample{Name: s.Name})
+		}
+	}
+	return p
+}
+
+// Hook returns the bracket callback: assign it to RuntimeProbe.OnEpoch,
+// or call it from any other quiescent point with a monotone bracket id.
+func (p *Profiler) Hook() func(epoch int64) {
+	return func(epoch int64) {
+		p.ticks++
+		if p.ticks%p.every != 0 {
+			return
+		}
+		p.Sample(epoch)
+	}
+}
+
+// Sample records one row immediately, tagged with the given bracket id.
+func (p *Profiler) Sample(epoch int64) {
+	gometrics.Read(p.samples)
+	vals := make([]float64, len(p.samples))
+	for i, s := range p.samples {
+		switch s.Value.Kind() {
+		case gometrics.KindUint64:
+			vals[i] = float64(s.Value.Uint64())
+		case gometrics.KindFloat64:
+			vals[i] = s.Value.Float64()
+		}
+	}
+	p.rows = append(p.rows, ProfRow{Epoch: epoch, Values: vals})
+}
+
+// Names returns the sampled metric names (aligned with ProfRow.Values).
+func (p *Profiler) Names() []string { return p.names }
+
+// Rows returns every recorded sample in bracket order.
+func (p *Profiler) Rows() []ProfRow { return p.rows }
+
+// shortName compresses "/memory/classes/heap/objects:bytes" to
+// "heap/objects:bytes" so the table fits a terminal.
+func shortName(n string) string {
+	parts := strings.Split(strings.TrimPrefix(n, "/"), "/")
+	if len(parts) > 2 {
+		parts = parts[len(parts)-2:]
+	}
+	return strings.Join(parts, "/")
+}
+
+// Render formats the profile as a table; long profiles are elided to
+// the first and last rows around an ellipsis.
+func (p *Profiler) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "epoch profile (%d samples, every %d brackets):\n", len(p.rows), p.every)
+	if len(p.rows) == 0 {
+		fmt.Fprintf(&b, "  no samples (run shorter than one bracket?)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  %8s", "epoch")
+	for _, n := range p.names {
+		fmt.Fprintf(&b, " %22s", shortName(n))
+	}
+	b.WriteByte('\n')
+	const keep = 8
+	for i, r := range p.rows {
+		if len(p.rows) > 2*keep && i == keep {
+			fmt.Fprintf(&b, "  %8s\n", "...")
+		}
+		if len(p.rows) > 2*keep && i >= keep && i < len(p.rows)-keep {
+			continue
+		}
+		fmt.Fprintf(&b, "  %8d", r.Epoch)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, " %22.0f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WriteCSV emits the full profile, one row per sample.
+func (p *Profiler) WriteCSV(w io.Writer) error {
+	cols := make([]string, 0, len(p.names)+1)
+	cols = append(cols, "epoch")
+	cols = append(cols, p.names...)
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, r := range p.rows {
+		fmt.Fprintf(w, "%d", r.Epoch)
+		for _, v := range r.Values {
+			fmt.Fprintf(w, ",%.0f", v)
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,300 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/topology"
+)
+
+const gbps = 125e6 // bytes/sec
+
+func testTree(t *testing.T) *topology.Tree {
+	t.Helper()
+	tree, err := topology.New(topology.Config{
+		Pods:           2,
+		RacksPerPod:    2,
+		ServersPerRack: 2,
+		SlotsPerServer: 4,
+		LinkBps:        10 * gbps,
+		BufferBytes:    312e3,
+		NICBufferBytes: 150e3,
+		RackOversub:    1,
+		PodOversub:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+// blastGen drives one host with the tie-free train used by the netsim
+// equivalence tests (odd offsets, even delay components).
+type blastGen struct {
+	host      *netsim.Host
+	dst       int
+	remaining int
+	fn        func()
+}
+
+func (g *blastGen) send() {
+	sim := g.host.Sim()
+	p := sim.AllocPacket()
+	p.Src, p.Dst = g.host.ID, g.dst
+	p.Size = 1500
+	g.host.Send(p)
+	g.remaining--
+	if g.remaining > 0 {
+		sim.After(1400, g.fn)
+	}
+}
+
+// runBlast builds a network (sequential when workers == 0), registers
+// the runtime plane on a fresh registry before running, and drives the
+// cross-pod permutation blast to completion.
+func runBlast(t *testing.T, workers, pkts int) (*netsim.Network, *obs.Registry) {
+	t.Helper()
+	tree := testTree(t)
+	opts := netsim.Options{PropNs: 200}
+	var nw *netsim.Network
+	if workers == 0 {
+		nw = netsim.Build(netsim.NewSim(), tree, opts)
+	} else {
+		nw = netsim.BuildParallel(tree, opts, netsim.ParallelOptions{Workers: workers})
+	}
+	reg := obs.NewRegistry()
+	Register(reg, nw)
+	hosts := len(nw.Hosts)
+	for h := range nw.Hosts {
+		nw.Hosts[h].FreeOnDeliver = true
+		g := &blastGen{host: nw.Hosts[h], dst: (h + 3) % hosts, remaining: pkts}
+		g.fn = g.send
+		g.host.Sim().At(int64(14*h+1), g.fn)
+	}
+	nw.Run(int64(14*hosts) + int64(pkts)*1400 + 1_000_000)
+	return nw, reg
+}
+
+// gaugeVal reads one metric from a snapshot by name (+ optional single
+// label pair), failing the test when absent.
+func gaugeVal(t *testing.T, snap obs.Snapshot, name string, labels ...string) float64 {
+	t.Helper()
+	for _, e := range snap.Entries {
+		if e.Name != name {
+			continue
+		}
+		if len(labels) == 0 && len(e.Labels) == 0 {
+			return e.Value
+		}
+		if len(labels) == 2 && len(e.Labels) == 2 &&
+			e.Labels[0] == labels[0] && e.Labels[1] == labels[1] {
+			return e.Value
+		}
+	}
+	t.Fatalf("metric %s%v not in snapshot", name, labels)
+	return 0
+}
+
+func TestCollectParallel(t *testing.T) {
+	nw, _ := runBlast(t, 2, 100)
+	st := Collect(nw)
+	if !st.Parallel {
+		t.Fatal("parallel build collected as sequential")
+	}
+	if st.Engine.Events == 0 || st.Engine.PktHWM == 0 {
+		t.Fatalf("engine counters empty: %+v", st.Engine)
+	}
+	if st.Engine.EvHitRate < 0 || st.Engine.EvHitRate > 1 ||
+		st.Engine.PktHitRate < 0 || st.Engine.PktHitRate > 1 {
+		t.Fatalf("hit rates out of [0,1]: %+v", st.Engine)
+	}
+	if len(st.Workers) != 2 {
+		t.Fatalf("want 2 worker stats, got %d", len(st.Workers))
+	}
+	if st.Coord == nil || st.Coord.Epochs == 0 {
+		t.Fatalf("coordinator stats missing: %+v", st.Coord)
+	}
+	if st.Coord.WinningBound() == "none" {
+		t.Error("no winning bound after a full run")
+	}
+	if got := st.Coord.BoundLookahead + st.Coord.BoundGlobal + st.Coord.BoundHorizon; got != st.Coord.Epochs {
+		t.Errorf("bound counts %d != epochs %d", got, st.Coord.Epochs)
+	}
+	if p := st.MeanStallPct(); p < 0 || p > 100 {
+		t.Errorf("mean stall %.1f%% out of range", p)
+	}
+	var islandEvents int64
+	for _, is := range st.Islands {
+		islandEvents += is.Events
+	}
+	if islandEvents == 0 {
+		t.Error("islands report no events")
+	}
+	out := st.Render()
+	for _, want := range []string{"engine runtime:", "parallel engine:", "worker", "island"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCollectSequential(t *testing.T) {
+	nw, _ := runBlast(t, 0, 50)
+	st := Collect(nw)
+	if st.Parallel || st.Coord != nil || len(st.Workers) != 0 {
+		t.Fatalf("sequential build produced parallel stats: %+v", st)
+	}
+	if st.Engine.Events == 0 {
+		t.Fatal("no events collected")
+	}
+	if got := st.Coord.WinningBound(); got != "none" {
+		t.Errorf("nil coord winning bound = %q, want none", got)
+	}
+	if !strings.Contains(st.Render(), "sequential") {
+		t.Error("sequential Render does not say so")
+	}
+	a := Analyze(st)
+	if a.Parallel {
+		t.Error("Analyze claims a sequential run is parallel")
+	}
+	if !strings.Contains(a.Render(), "sequential") {
+		t.Error("sequential analysis Render does not say so")
+	}
+}
+
+// TestRegisterScrape checks the silo_runtime_* families end to end: the
+// registered gauge functions must report the same values Collect sees.
+func TestRegisterScrape(t *testing.T) {
+	nw, reg := runBlast(t, 2, 100)
+	st := Collect(nw)
+	snap := reg.Snapshot()
+	if got := gaugeVal(t, snap, "silo_runtime_events_total"); got != float64(st.Engine.Events) {
+		t.Errorf("events_total %v != collected %d", got, st.Engine.Events)
+	}
+	if got := gaugeVal(t, snap, "silo_runtime_epochs_total"); got != float64(st.Coord.Epochs) {
+		t.Errorf("epochs_total %v != collected %d", got, st.Coord.Epochs)
+	}
+	var bounds float64
+	for _, b := range []string{"lookahead", "global", "horizon"} {
+		bounds += gaugeVal(t, snap, "silo_runtime_bound_epochs_total", "bound", b)
+	}
+	if bounds != float64(st.Coord.Epochs) {
+		t.Errorf("bound family sums to %v, want %d", bounds, st.Coord.Epochs)
+	}
+	for w := range st.Workers {
+		lbl := string(rune('0' + w))
+		busy := gaugeVal(t, snap, "silo_runtime_worker_busy_ns", "worker", lbl)
+		if busy != float64(st.Workers[w].BusyNs) {
+			t.Errorf("worker %d busy %v != collected %d", w, busy, st.Workers[w].BusyNs)
+		}
+	}
+	var crossSent float64
+	for i := range st.Islands {
+		lbl := string(rune('0' + i))
+		crossSent += gaugeVal(t, snap, "silo_runtime_island_cross_sent_total", "island", lbl)
+	}
+	if crossSent != gaugeVal(t, snap, "silo_runtime_cross_merged_total") {
+		t.Errorf("island cross_sent sum %v != cross_merged", crossSent)
+	}
+	// Registering on a nil registry or nil network must be a no-op.
+	Register(nil, nw)
+	Register(obs.NewRegistry(), nil)
+}
+
+func TestAnalyzeStraggler(t *testing.T) {
+	st := Stats{
+		Parallel: true,
+		Islands: []IslandStat{
+			{Island: 0, BusyNs: 100},
+			{Island: 1, BusyNs: 900},
+			{Island: 2, BusyNs: 100},
+		},
+		Workers: []WorkerStat{
+			{Worker: 0, BusyNs: 1000, StallNs: 100},
+			{Worker: 1, BusyNs: 100, StallNs: 1000},
+		},
+	}
+	a := Analyze(st)
+	if !a.Parallel {
+		t.Fatal("not parallel")
+	}
+	if a.Straggler != 1 || a.StragglerBusyNs != 900 {
+		t.Fatalf("straggler = %d (%d ns), want island 1 (900 ns)", a.Straggler, a.StragglerBusyNs)
+	}
+	if want := 900.0 / 1100.0; a.StragglerShare < want-1e-9 || a.StragglerShare > want+1e-9 {
+		t.Errorf("straggler share %.3f, want %.3f", a.StragglerShare, want)
+	}
+	if want := 1100.0 / 2200.0; a.StallFraction != want {
+		t.Errorf("stall fraction %.3f, want %.3f", a.StallFraction, want)
+	}
+	// total busy 1100 / straggler 900 rounds to 1.
+	if a.RecommendedWorkers != 1 {
+		t.Errorf("recommended workers %d, want 1", a.RecommendedWorkers)
+	}
+	if !strings.Contains(a.Hint, "island 1") {
+		t.Errorf("hint does not name the straggler: %q", a.Hint)
+	}
+	if !strings.Contains(a.Render(), "island 1") {
+		t.Error("Render does not name the straggler")
+	}
+}
+
+func TestAnalyzeBalanced(t *testing.T) {
+	st := Stats{
+		Parallel: true,
+		Islands: []IslandStat{
+			{Island: 0, BusyNs: 500},
+			{Island: 1, BusyNs: 520},
+			{Island: 2, BusyNs: 480},
+		},
+		Workers: []WorkerStat{
+			{Worker: 0, BusyNs: 750, StallNs: 50},
+			{Worker: 1, BusyNs: 750, StallNs: 50},
+		},
+	}
+	a := Analyze(st)
+	if a.Straggler != 1 {
+		t.Errorf("straggler = %d, want 1", a.Straggler)
+	}
+	if a.RecommendedWorkers != 3 {
+		t.Errorf("recommended workers %d, want 3 (even split)", a.RecommendedWorkers)
+	}
+	if !strings.Contains(a.Hint, "balanced") {
+		t.Errorf("balanced fleet hint: %q", a.Hint)
+	}
+}
+
+func TestProfiler(t *testing.T) {
+	p := NewProfiler(2)
+	if len(p.Names()) == 0 {
+		t.Fatal("no supported runtime metrics on this toolchain")
+	}
+	hook := p.Hook()
+	for e := int64(1); e <= 6; e++ {
+		hook(e)
+	}
+	rows := p.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("every=2 over 6 brackets gave %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Values) != len(p.Names()) {
+			t.Fatalf("row width %d != %d names", len(r.Values), len(p.Names()))
+		}
+	}
+	if rows[0].Epoch != 2 || rows[2].Epoch != 6 {
+		t.Errorf("sampled epochs %d..%d, want 2..6", rows[0].Epoch, rows[2].Epoch)
+	}
+	if !strings.Contains(p.Render(), "3 samples") {
+		t.Errorf("Render: %q", p.Render())
+	}
+	var csv strings.Builder
+	if err := p.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(csv.String(), "\n"); got != 4 {
+		t.Errorf("CSV has %d lines, want 4 (header + 3 rows)", got)
+	}
+}
