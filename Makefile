@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: all ci vet build test test-race test-faults test-parallel test-incidents bench-placement bench-obs bench-telemetry bench-introspect bench-incident bench-runtime regress baselines
+.PHONY: all ci vet build test test-race test-faults test-parallel test-incidents test-crash soak bench-placement bench-obs bench-telemetry bench-introspect bench-incident bench-runtime bench-wal regress baselines
 
 all: vet build test
 
 # Everything CI runs, in order. The race pass covers the packages with
 # concurrent hot paths: the sharded obs histograms and the pacer.
-ci: vet build test test-faults test-parallel test-incidents
+ci: vet build test test-faults test-parallel test-incidents test-crash
 	$(GO) test -race ./internal/obs/... ./internal/pacer/...
 
 vet:
@@ -51,6 +51,21 @@ test-incidents:
 	$(GO) test -race ./internal/obs/incident/
 	$(GO) test -race -run 'Incident|Fig5Paced|ParallelScaleEquivalence' ./internal/experiments/
 
+# The durable control-plane crash suite under the race detector: the
+# crash-point property test (kill the WAL at every record boundary and
+# at torn mid-record offsets; recovery must be byte-identical to an
+# uncrashed twin), the WAL decoder fuzz seeds, and the recovery-ladder
+# crash scenarios.
+test-crash:
+	$(GO) test -race -run 'CrashPoint|Ladder|Durable|Snapshot|SafeMode|Inspect|Fuzz' ./internal/placement/durable/
+
+# A short chaos soak: randomized churn against the durable store with
+# repeated crash-kills at random WAL offsets (including mid-record torn
+# writes). Fails on any invariant violation or overbooked port. CI runs
+# 30 s; bump -duration for longer soaks.
+soak:
+	$(GO) run ./cmd/silo-bench -run soak -duration 30 -soak-report soak.json
+
 # Reproduces the placement-at-scale numbers recorded in
 # bench_all_output.txt (see README.md "Placement at scale").
 bench-placement:
@@ -82,6 +97,11 @@ bench-incident:
 bench-runtime:
 	$(GO) test -run '^$$' -bench BenchmarkRuntimeOverhead -benchmem .
 
+# Asserts the WAL append hot path (encode + write + batched fsync) is
+# allocation-free per logged mutation.
+bench-wal:
+	$(GO) test -run '^$$' -bench BenchmarkWALAppend -benchmem ./internal/placement/durable/
+
 # Runs the microbenchmarks and compares them against the committed
 # BENCH_*.json baselines; exits non-zero on regression.
 regress:
@@ -90,4 +110,4 @@ regress:
 # Regenerates the committed microbenchmark baselines in place. Run on a
 # quiet machine and commit the diff deliberately.
 baselines:
-	$(GO) run ./cmd/silo-bench -run placeub,pacerub,netsimub,netsimpar,introspectub,incidentub,runtimeub -bench-json .
+	$(GO) run ./cmd/silo-bench -run placeub,pacerub,netsimub,netsimpar,introspectub,incidentub,runtimeub,walub -bench-json .

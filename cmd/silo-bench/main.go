@@ -12,7 +12,9 @@
 //
 // Experiments: fig1, table1, fig5, fig10, fig11, fig12 (also emits
 // fig13, fig14 and table4), fig15, fig16a, fig16b, placeub, pacerub,
-// netsimub, netsimpar, introspectub, incidentub, runtimeub.
+// netsimub, netsimpar, introspectub, incidentub, runtimeub, walub,
+// soak (durable control-plane chaos soak; -duration sets wall seconds,
+// -soak-report writes the JSON verdict).
 package main
 
 import (
@@ -60,6 +62,7 @@ var benchBaseline = map[string]string{
 	"introspectub": "BENCH_introspect.json",
 	"incidentub":   "BENCH_incident.json",
 	"runtimeub":    "BENCH_runtime.json",
+	"walub":        "BENCH_wal.json",
 }
 
 // noteBenchRecord stores a microbenchmark record and writes it out if
@@ -96,7 +99,7 @@ func writeCSV(name string, header []string, rows [][]float64) {
 
 func main() {
 	var (
-		run       = flag.String("run", "all", "experiment to run (all|fig1|table1|fig5|fig10|fig11|fig12|fig15|fig16a|fig16b|placeub|pacerub|netsimub|netsimpar|introspectub|incidentub|runtimeub|parscale|besteffort|burststress|faultdrill)")
+		run       = flag.String("run", "all", "experiment to run (all|fig1|table1|fig5|fig10|fig11|fig12|fig15|fig16a|fig16b|placeub|pacerub|netsimub|netsimpar|introspectub|incidentub|runtimeub|walub|parscale|besteffort|burststress|faultdrill|soak)")
 		workers   = flag.Int("workers", 0, "island worker count for the parallel-simulator microbenchmark (0 = its default, 8)")
 		hotPod    = flag.Int("hot-pod", 0, "for parscale: pod whose hosts inject -hot-factor × the uniform load (imbalance study)")
 		hotFactor = flag.Int("hot-factor", 0, "for parscale: load multiplier for -hot-pod's hosts (<= 1 keeps the workload uniform)")
@@ -111,6 +114,8 @@ func main() {
 		benchOut   = flag.String("bench-json", "", "write microbenchmark records as JSON: a *.json path for one file, anything else a directory receiving BENCH_<name>.json per bench")
 
 		history = flag.Bool("history", false, "append this invocation's microbenchmark records to "+experiments.BenchHistoryFile+" (RunMeta-stamped JSONL, one line per record)")
+
+		soakReport = flag.String("soak-report", "", "for soak: also write the RunMeta-stamped JSON verdict to this path")
 
 		regress     = flag.Bool("regress", false, "after running, compare microbenchmark records against the committed BENCH_*.json baselines and exit non-zero on regression (with -run all, runs only the microbenchmarks)")
 		regressTol  = flag.Float64("regress-tolerance", 50, "regression tolerance in percent on gating metrics (mean, p99, allocs/op)")
@@ -174,8 +179,10 @@ func main() {
 		"besteffort":   func() error { return runBestEffort(*duration, *seed) },
 		"burststress":  runBurstStressCmd,
 		"faultdrill":   func() error { return runFaultDrill(*seed) },
+		"walub":        runWALUB,
+		"soak":         func() error { return runSoak(*duration, *seed, *soakReport) },
 	}
-	order := []string{"fig1", "table1", "fig5", "fig10", "fig11", "fig12", "fig15", "fig16a", "fig16b", "placeub", "pacerub", "netsimub", "netsimpar", "introspectub", "incidentub", "runtimeub", "parscale", "besteffort", "burststress", "faultdrill"}
+	order := []string{"fig1", "table1", "fig5", "fig10", "fig11", "fig12", "fig15", "fig16a", "fig16b", "placeub", "pacerub", "netsimub", "netsimpar", "introspectub", "incidentub", "runtimeub", "walub", "parscale", "besteffort", "burststress", "faultdrill"}
 
 	names := strings.Split(*run, ",")
 	if *run == "all" {
@@ -183,7 +190,7 @@ func main() {
 		if *regress {
 			// The regression gate only needs the record-producing
 			// microbenchmarks.
-			names = []string{"placeub", "pacerub", "netsimub", "netsimpar", "introspectub", "incidentub", "runtimeub"}
+			names = []string{"placeub", "pacerub", "netsimub", "netsimpar", "introspectub", "incidentub", "runtimeub", "walub"}
 		}
 	}
 	for _, name := range names {
@@ -721,4 +728,47 @@ func runNetsimUB() error {
 	}
 	fmt.Print(rec.Render())
 	return noteBenchRecord(rec)
+}
+
+func runWALUB() error {
+	fmt.Println("WAL microbenchmark — durable control plane's append hot path (encode + write, fsync batched):")
+	rec, err := experiments.RunWALBench(experiments.DefaultWALBenchParams())
+	if err != nil {
+		return err
+	}
+	fmt.Print(rec.Render())
+	// The checked-in BENCH_wal.json is regenerated with
+	// `silo-bench -run walub -bench-json BENCH_wal.json`.
+	return noteBenchRecord(rec)
+}
+
+// runSoak drives the durable control-plane chaos soak: churn +
+// crash-kill + recover in a loop, asserting zero invariant violations
+// and zero overbooked ports. -duration overrides the wall-clock length
+// in seconds; a non-empty report path receives the JSON verdict.
+func runSoak(duration float64, seed uint64, report string) error {
+	p := experiments.DefaultSoakParams()
+	if duration > 0 {
+		p.Duration = time.Duration(duration * float64(time.Second))
+	}
+	if seed != 0 {
+		p.Seed = seed
+	}
+	fmt.Printf("Chaos soak — durable placement WAL under randomized churn and crash-kills (%.1fs):\n",
+		p.Duration.Seconds())
+	res, err := experiments.RunSoak(p, &runMeta)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Render())
+	if report != "" {
+		if err := res.WriteFile(report); err != nil {
+			return fmt.Errorf("soak-report: %w", err)
+		}
+		fmt.Printf("soak report written to %s\n", report)
+	}
+	if len(res.Violations) > 0 {
+		return fmt.Errorf("soak found %d violations", len(res.Violations))
+	}
+	return nil
 }

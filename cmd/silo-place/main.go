@@ -17,15 +17,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/obs/dashboard"
 	"repro/internal/obs/timeseries"
 	"repro/internal/placement"
+	"repro/internal/placement/durable"
 	"repro/internal/stats"
 	"repro/internal/tenant"
 	"repro/internal/topology"
@@ -53,14 +57,26 @@ func main() {
 		msgKB   = flag.Float64("msg-kb", 20, "message size for the latency bound printout")
 		seed    = flag.Uint64("seed", 1, "rng seed")
 
+		walDir    = flag.String("wal", "", "durable store directory: write-ahead log every admission mutation and recover prior state on start (silo only)")
+		snapEvery = flag.Int("snapshot-every", 0, "with -wal: snapshot + rotate the log every N mutations (0 = default 1024, negative disables)")
+
 		metricsOut = flag.String("metrics", "", "export metrics on exit (\"-\" = Prometheus to stdout, *.json = expvar JSON, else Prometheus to file)")
 		httpAddr   = flag.String("http", "", "serve the dashboard, /metrics and /debug/vars on this address during the run")
 		pprofOn    = flag.Bool("pprof", false, "additionally expose /debug/pprof on the -http address")
 	)
 	flag.Parse()
 
+	// The request stream stops at SIGINT/SIGTERM so an open WAL is
+	// flushed and closed instead of losing its fsync batch.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	if err := obs.ValidateOutputPath("-metrics", *metricsOut); err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *walDir != "" && *algo != "silo" {
+		fmt.Fprintln(os.Stderr, "-wal requires -algo silo (the comparison placers have no durable state)")
 		os.Exit(2)
 	}
 
@@ -71,13 +87,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	var dur *durable.Manager
 	if srv != nil {
 		// Admission has no simulated clock, so the rollup samples real
 		// time while the request stream runs.
 		rollup := timeseries.NewRollup(reg, 512)
 		stop := dashboard.DriveWallClock(rollup, time.Second)
 		defer stop()
-		dashboard.Attach(srv, dashboard.Options{Title: "silo-place", Rollup: rollup})
+		dashboard.Attach(srv, dashboard.Options{
+			Title: "silo-place", Rollup: rollup,
+			// dur is opened after the topology below; the collector is
+			// evaluated per request, so the panel lights up once it is.
+			WAL: func() *durable.Status {
+				if dur == nil {
+					return nil
+				}
+				s := dur.Status()
+				return &s
+			},
+		})
 		fmt.Printf("dashboard: http://%s/\n", srv.Addr())
 	}
 
@@ -100,6 +128,30 @@ func main() {
 	var placer placement.Algorithm
 	switch *algo {
 	case "silo":
+		if *walDir != "" {
+			d, info, derr := durable.Open(*walDir, tree, durable.Options{
+				Placement:     placement.Options{Workers: *workers},
+				SnapshotEvery: *snapEvery,
+				Meta:          ptrMeta(obs.CollectRunMeta("silo-place")),
+				Metrics:       durable.NewMetrics(reg),
+			})
+			if derr != nil {
+				fmt.Fprintln(os.Stderr, derr)
+				os.Exit(1)
+			}
+			fmt.Println(info.Render())
+			if info.SafeMode {
+				fmt.Fprintln(os.Stderr, "warning: store recovered into safe mode; new admissions will be rejected")
+			}
+			d.EnableGauges(reg)
+			d.EnableMetrics(reg)
+			if *explain != 0 {
+				d.EnableJournal(0)
+			}
+			dur = d
+			placer = d
+			break
+		}
 		m := placement.NewManager(tree, placement.Options{Workers: *workers})
 		m.EnableMetrics(reg)
 		if *explain != 0 {
@@ -130,17 +182,28 @@ func main() {
 
 	rng := stats.NewRand(*seed)
 	accepted := 0
+	// A recovered store already decided earlier requests; continue the
+	// ID stream after them instead of colliding with admitted tenants.
+	idBase := 0
+	if dur != nil {
+		idBase = dur.Accepted() + dur.Rejected()
+	}
 	var rejectedIDs []int
 	for i := 0; i < *tenants; i++ {
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "interrupted after %d requests\n", i)
+			break
+		}
 		n := *vms
 		if n <= 0 {
 			n = 4 + rng.Intn(24)
 		}
-		spec := tenant.Spec{ID: i + 1, Name: fmt.Sprintf("tenant-%d", i+1), VMs: n, Guarantee: g, FaultDomains: 2}
+		id := idBase + i + 1
+		spec := tenant.Spec{ID: id, Name: fmt.Sprintf("tenant-%d", id), VMs: n, Guarantee: g, FaultDomains: 2}
 		pl, err := placer.Place(spec)
 		if err != nil {
-			fmt.Printf("tenant-%-3d REJECTED: %v\n", i+1, err)
-			rejectedIDs = append(rejectedIDs, i+1)
+			fmt.Printf("tenant-%-3d REJECTED: %v\n", id, err)
+			rejectedIDs = append(rejectedIDs, id)
 			continue
 		}
 		accepted++
@@ -165,11 +228,15 @@ func main() {
 			}
 		}
 		fmt.Printf("tenant-%-3d placed: %d VMs on %d servers (span: %s)\n",
-			i+1, n, len(distinct), span)
+			id, n, len(distinct), span)
 	}
 	fmt.Printf("\naccepted %d / %d tenants\n", accepted, *tenants)
 
-	if m, ok := placer.(*placement.Manager); ok {
+	m, haveMgr := placer.(*placement.Manager)
+	if dur != nil {
+		m, haveMgr = dur.Manager, true
+	}
+	if haveMgr {
 		// Print the five most loaded ports by queue bound.
 		type pb struct {
 			id    int
@@ -208,8 +275,20 @@ func main() {
 			}
 		}
 	}
+	if dur != nil {
+		// Flush the fsync batch and close: a clean shutdown (including
+		// one triggered by SIGINT/SIGTERM above) loses no records.
+		if err := dur.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "wal close: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wal: %d mutations logged to %s\n", dur.Seq(), dur.Dir())
+	}
 	if err := finishObs(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
+
+// ptrMeta boxes a RunMeta for the durable store's provenance stamp.
+func ptrMeta(m obs.RunMeta) *obs.RunMeta { return &m }

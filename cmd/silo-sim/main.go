@@ -38,6 +38,7 @@ import (
 	"repro/internal/obs/timeseries"
 	"repro/internal/pacer"
 	"repro/internal/placement"
+	"repro/internal/placement/durable"
 	"repro/internal/stats"
 	"repro/internal/tenant"
 	"repro/internal/topology"
@@ -69,6 +70,8 @@ func main() {
 		faultSched   = flag.String("fault", "", "fault schedule, e.g. \"t=20ms link 14 down; t=30ms up\" or \"t=20ms switch tor0 down\" (targets: link PORT, switch core|podN|torN, host ID; actions: down, up, gray DUR, flap NxDOWN/UP)")
 		faultDetect  = flag.Duration("fault-detect", 500*time.Microsecond, "control-loop detection delay between an injected fault and the placement Recover call (silo scheme only)")
 		workers      = flag.Int("workers", 0, "parallel island workers (0 = sequential engine; >0 partitions the fabric into per-pod islands under conservative lookahead)")
+		walDir       = flag.String("wal", "", "durable store directory: write-ahead log every placement mutation (admission, fault recovery, restore) and recover prior control-plane state on start (silo scheme only)")
+		snapEvery    = flag.Int("snapshot-every", 0, "with -wal: snapshot + rotate the log every N mutations (0 = default 1024, negative disables)")
 		rtReport     = flag.Bool("runtime-report", false, "print the engine self-telemetry report after the run (worker/island busy vs. barrier stall, wheel/arena pressure, imbalance analysis)")
 		profEpochs   = flag.Int("profile-epochs", 0, "sample Go runtime metrics every N epoch barriers (sequential engine: every N telemetry windows) and print the bracketed profile after the run")
 	)
@@ -91,6 +94,10 @@ func main() {
 	}
 	if *windowMs <= 0 {
 		fmt.Fprintf(os.Stderr, "-window: must be > 0, got %g\n", *windowMs)
+		os.Exit(2)
+	}
+	if *walDir != "" && *schemeName != "silo" {
+		fmt.Fprintln(os.Stderr, "-wal requires -scheme silo (the comparison placers have no durable state)")
 		os.Exit(2)
 	}
 
@@ -164,8 +171,49 @@ func main() {
 	gB := tenant.Guarantee{BandwidthBps: 2 * gbps, BurstBytes: 1.5e3, BurstRateBps: 2 * gbps}
 
 	placer := schemePlacer(scheme, tree)
+	var dur *durable.Manager
+	if *walDir != "" {
+		d, info, derr := durable.Open(*walDir, tree, durable.Options{
+			SnapshotEvery: *snapEvery,
+			Meta:          &meta,
+			Metrics:       durable.NewMetrics(reg),
+		})
+		if derr != nil {
+			fmt.Fprintln(os.Stderr, derr)
+			os.Exit(1)
+		}
+		fmt.Println(info.Render())
+		if info.SafeMode {
+			fmt.Fprintln(os.Stderr, "warning: store recovered into safe mode; new admissions will be rejected")
+		}
+		d.EnableGauges(reg)
+		d.EnableMetrics(reg)
+		dur = d
+		placer = d
+	}
+	// mgr is the underlying Silo manager regardless of whether the WAL
+	// wraps it; use it for read-only diagnostics only — mutations must
+	// go through placer/dur so they are logged.
+	mgr, haveMgr := placer.(*placement.Manager)
+	if dur != nil {
+		mgr, haveMgr = dur.Manager, true
+	}
 	specA := tenant.Spec{ID: 1, Name: "oldi", VMs: *vmsA, Guarantee: gA, FaultDomains: 2}
 	specB := tenant.Spec{ID: 2, Name: "shuffle", VMs: *vmsB, Guarantee: gB, FaultDomains: 2}
+	if dur != nil {
+		// The scenario's two tenants have fixed IDs. A recovered store
+		// may still hold them from the previous run; the data plane is
+		// redeployed from scratch each run, so release the old admission
+		// (logged like any mutation) before re-placing.
+		for _, id := range []int{specA.ID, specB.ID} {
+			if _, ok := mgr.Placement(id); ok {
+				if err := dur.Remove(id); err != nil {
+					fmt.Fprintf(os.Stderr, "wal: releasing recovered tenant %d: %v\n", id, err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
 	plA, err := placer.Place(specA)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tenant A rejected: %v\n", err)
@@ -235,7 +283,7 @@ func main() {
 				intro.TrackVM(d.Placement.Servers[i], vmID, d.Spec.ID, adm)
 			}
 		}
-		if mgr, ok := placer.(*placement.Manager); ok {
+		if haveMgr {
 			intro.BindPlacement(mgr)
 		}
 	}
@@ -285,17 +333,32 @@ func main() {
 		}
 		inj = faults.NewInjector(nw)
 		inj.GraceNs = 5 * windowNs
-		if mgr, ok := placer.(*placement.Manager); ok {
+		// With -wal, recovery mutations must go through the durable
+		// wrapper so every ladder step is logged before it applies.
+		type recoverCtl interface {
+			Recover(failedServers, failedPorts []int, opts placement.RecoverOptions) *placement.RecoveryReport
+			RestoreServers(servers ...int)
+		}
+		var ctl recoverCtl
+		if dur != nil {
+			ctl = dur
+		} else if haveMgr {
+			ctl = mgr
+		}
+		if ctl != nil {
 			detectNs := faultDetect.Nanoseconds()
 			inj.OnEvent = func(ev faults.Event) {
 				nw.Sim.After(detectNs, func() {
 					if ev.Kind.IsDown() {
-						rep := mgr.Recover(ev.Servers, ev.Ports, placement.RecoverOptions{})
+						rep := ctl.Recover(ev.Servers, ev.Ports, placement.RecoverOptions{})
+						if rep.LogErr != nil {
+							fmt.Fprintf(os.Stderr, "wal: recovery aborted, log unavailable: %v\n", rep.LogErr)
+						}
 						if len(rep.Affected) > 0 {
 							recoveries = append(recoveries, rep)
 						}
 					} else {
-						mgr.RestoreServers(ev.Servers...)
+						ctl.RestoreServers(ev.Servers...)
 					}
 				})
 			}
@@ -361,6 +424,13 @@ func main() {
 		Incidents: corr,
 		Meta:      &meta,
 		Runtime:   func() obsruntime.Stats { return obsruntime.Collect(nw) },
+		WAL: func() *durable.Status {
+			if dur == nil {
+				return nil
+			}
+			s := dur.Status()
+			return &s
+		},
 	}
 	if srv != nil {
 		dashboard.Attach(srv, dashOpts)
@@ -473,7 +543,7 @@ func main() {
 		for _, rep := range recoveries {
 			fmt.Print(rep.Render())
 		}
-		if mgr, ok := placer.(*placement.Manager); ok {
+		if haveMgr {
 			if err := mgr.VerifyInvariants(); err != nil {
 				fmt.Printf("placement invariants after recovery: FAILED: %v\n", err)
 			} else {
@@ -551,6 +621,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("time-series payload written to %s\n", *seriesOut)
+	}
+	if dur != nil {
+		// Flush the fsync batch and close: a clean shutdown (including
+		// one triggered by SIGINT/SIGTERM above) loses no records.
+		if err := dur.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "wal close: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wal: %d mutations logged to %s\n", dur.Seq(), dur.Dir())
 	}
 	if err := finishObs(); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"os"
+
+	"repro/internal/placement/durable"
+)
+
+// WALBenchParams configures the WAL append microbenchmark ("walub").
+type WALBenchParams struct {
+	// Ops is the number of appends measured.
+	Ops int
+	// SyncEvery batches fsyncs, matching a throughput-tuned deployment;
+	// the encode+write cost is what the gate watches.
+	SyncEvery int
+	// Dir receives the scratch segment ("" = temp dir).
+	Dir string
+}
+
+// DefaultWALBenchParams sizes the walub record.
+func DefaultWALBenchParams() WALBenchParams {
+	return WALBenchParams{Ops: 20000, SyncEvery: 64}
+}
+
+// RunWALBench measures the durable control plane's WAL append hot path
+// and reports it in the shared microbenchmark schema. The acceptance
+// bar — enforced by `silo-bench -regress` against BENCH_wal.json — is
+// allocs_per_op == 0: appending a placement record must reuse its
+// encode buffer and avoid every closure on the retry path.
+func RunWALBench(p WALBenchParams) (BenchRecord, error) {
+	def := DefaultWALBenchParams()
+	if p.Ops <= 0 {
+		p.Ops = def.Ops
+	}
+	if p.SyncEvery <= 0 {
+		p.SyncEvery = def.SyncEvery
+	}
+	dir := p.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "silo-walbench")
+		if err != nil {
+			return BenchRecord{}, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	st, err := durable.RunAppendBench(dir, p.Ops, p.SyncEvery)
+	if err != nil {
+		return BenchRecord{}, err
+	}
+	return BenchRecord{
+		Benchmark:   "walub",
+		Requests:    st.Ops,
+		Accepted:    st.Ops,
+		MeanNs:      st.MeanNs,
+		P50Ns:       st.P50Ns,
+		P99Ns:       st.P99Ns,
+		MaxNs:       st.MaxNs,
+		TotalNs:     st.TotalNs,
+		AllocsPerOp: st.AllocsPerOp,
+	}, nil
+}

@@ -25,6 +25,7 @@ import (
 	obsruntime "repro/internal/obs/runtime"
 	"repro/internal/obs/slo"
 	"repro/internal/obs/timeseries"
+	"repro/internal/placement/durable"
 )
 
 //go:embed dashboard.html
@@ -48,6 +49,10 @@ type Options struct {
 	// runtime plane's self-telemetry report, evaluated per request
 	// (typically func() { return runtime.Collect(nw) }).
 	Runtime func() obsruntime.Stats
+	// WAL supplies the durability panel: a collector producing the
+	// durable store's status, evaluated per request (nil when the run
+	// has no -wal; returning nil renders the panel empty).
+	WAL func() *durable.Status
 	// Meta stamps the payload with run provenance.
 	Meta *obs.RunMeta
 }
@@ -67,6 +72,9 @@ type Payload struct {
 	// Runtime is the engine self-telemetry report (worker/island
 	// utilization, barrier stalls, wheel/arena pressure).
 	Runtime *obsruntime.Stats `json:"runtime,omitempty"`
+	// WAL is the durable store's status (seq, segment size, safe mode,
+	// how the last recovery went).
+	WAL *durable.Status `json:"wal,omitempty"`
 	// Meta is the producing run's provenance.
 	Meta *obs.RunMeta `json:"meta,omitempty"`
 }
@@ -131,6 +139,9 @@ func BuildPayload(opts Options) Payload {
 	if opts.Runtime != nil {
 		st := opts.Runtime()
 		p.Runtime = &st
+	}
+	if opts.WAL != nil {
+		p.WAL = opts.WAL()
 	}
 	p.Meta = opts.Meta
 	return p

@@ -11,6 +11,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/slo"
 	"repro/internal/obs/timeseries"
+	"repro/internal/placement/durable"
 )
 
 func testSources(t *testing.T) Options {
@@ -130,5 +131,33 @@ func TestDriveWallClock(t *testing.T) {
 		t.Error("nil rollup should return a no-op stop")
 	} else {
 		stop()
+	}
+}
+
+func TestBuildPayloadWALPanel(t *testing.T) {
+	opts := testSources(t)
+	st := &durable.Status{
+		Dir: "/tmp/store", Segment: "wal-0000000000000001.log",
+		Seq: 42, WALSizeBytes: 6720,
+		Recovery: &durable.RecoveryInfo{SnapshotSeq: 30, ReplayedRecords: 12, TornTail: true, TruncatedBytes: 9},
+	}
+	opts.WAL = func() *durable.Status { return st }
+	p := BuildPayload(opts)
+	if p.WAL == nil || p.WAL.Seq != 42 || p.WAL.Recovery.ReplayedRecords != 12 {
+		t.Fatalf("wal view = %+v", p.WAL)
+	}
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"wal"`, `"seq":42`, `"torn_tail":true`} {
+		if !strings.Contains(string(b), want) {
+			t.Fatalf("payload JSON missing %s:\n%s", want, b)
+		}
+	}
+	// A nil collector result keeps the panel absent.
+	opts.WAL = func() *durable.Status { return nil }
+	if p := BuildPayload(opts); p.WAL != nil {
+		t.Fatal("nil status should omit the panel")
 	}
 }

@@ -1,0 +1,84 @@
+package durable
+
+import (
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/placement"
+	"repro/internal/stats"
+	"repro/internal/tenant"
+)
+
+// AppendBenchStats is the outcome of RunAppendBench: per-append latency
+// percentiles, allocation rate and record size for the WAL hot path.
+type AppendBenchStats struct {
+	Ops            int
+	TotalNs        int64
+	MeanNs         int64
+	P50Ns          int64
+	P99Ns          int64
+	MaxNs          int64
+	AllocsPerOp    int64
+	BytesPerRecord int
+}
+
+// RunAppendBench measures the WAL append hot path — encode one
+// placement record, write it at the segment tail — over ops appends
+// with fsync batching at syncEvery. It exists so the silo-bench
+// regression gate can watch the path without reaching into package
+// internals; the acceptance bar is AllocsPerOp == 0 (reused encode
+// buffer, closure-free retry loop).
+func RunAppendBench(dir string, ops, syncEvery int) (AppendBenchStats, error) {
+	if ops <= 0 {
+		ops = 20000
+	}
+	if syncEvery <= 0 {
+		syncEvery = 64
+	}
+	w, err := createWAL(filepath.Join(dir, "appendbench.log"), 0, syncEvery, RetryPolicy{}, nil)
+	if err != nil {
+		return AppendBenchStats{}, err
+	}
+	defer w.close()
+	mut := &placement.Mutation{
+		Op: placement.MutPlace,
+		Spec: tenant.Spec{
+			ID: 42, Name: "bench-tenant", VMs: 4, FaultDomains: 2,
+			Guarantee: tenant.Guarantee{
+				BandwidthBps: 1e8, BurstBytes: 1.5e4, DelayBound: 1e-3, BurstRateBps: 1.25e9,
+			},
+		},
+		Servers: []int{3, 9, 17, 21},
+	}
+	// Warm the reused encode buffer so the measured loop is steady-state.
+	if err := w.append(1, mut); err != nil {
+		return AppendBenchStats{}, err
+	}
+	sample := stats.NewSample(ops)
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		opStart := time.Now()
+		if err := w.append(uint64(i+2), mut); err != nil {
+			return AppendBenchStats{}, err
+		}
+		sample.Add(float64(time.Since(opStart).Nanoseconds()))
+	}
+	total := time.Since(start).Nanoseconds()
+	runtime.ReadMemStats(&ms1)
+	st := AppendBenchStats{
+		Ops:            ops,
+		TotalNs:        total,
+		MeanNs:         int64(sample.Mean()),
+		P50Ns:          int64(sample.Percentile(50)),
+		P99Ns:          int64(sample.Percentile(99)),
+		MaxNs:          int64(sample.Max()),
+		BytesPerRecord: int(w.size) / (ops + 1),
+	}
+	// The sample's Add calls allocate nothing after construction and the
+	// timing calls are alloc-free, so the delta is the append path's.
+	st.AllocsPerOp = int64(ms1.Mallocs-ms0.Mallocs) / int64(ops)
+	return st, nil
+}

@@ -1,0 +1,151 @@
+package durable
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/placement"
+	"repro/internal/tenant"
+)
+
+// Manager is a crash-safe placement manager: the embedded
+// placement.Manager carries a commit hook that write-ahead logs every
+// mutation, and this wrapper adds the snapshot cadence, safe-mode
+// admission gating and the flush/close lifecycle. Read accessors
+// (QueueBound, Placement, VerifyInvariants, ...) come straight from
+// the embedded manager.
+type Manager struct {
+	*placement.Manager
+	st   *store
+	info *RecoveryInfo
+}
+
+// Place admits a tenant, logging the decision before applying it. In
+// safe mode every request is rejected with ErrSafeMode — a manager
+// that cannot prove what it already admitted must not admit more.
+func (d *Manager) Place(spec tenant.Spec) (*tenant.Placement, error) {
+	if d.st.safeMode {
+		return nil, fmt.Errorf("%w (tenant %d)", ErrSafeMode, spec.ID)
+	}
+	pl, err := d.Manager.Place(spec)
+	d.maybeSnapshot()
+	return pl, err
+}
+
+// Remove releases a tenant (logged write-ahead).
+func (d *Manager) Remove(id int) error {
+	err := d.Manager.Remove(id)
+	d.maybeSnapshot()
+	return err
+}
+
+// Recover runs the guarantee-preserving recovery path; every detach,
+// server failure and (possibly degraded) re-placement it performs is
+// logged as its own record, so a crash mid-recovery replays to the
+// exact prefix that was applied.
+func (d *Manager) Recover(failedServers, failedPorts []int, opts placement.RecoverOptions) *placement.RecoveryReport {
+	r := d.Manager.Recover(failedServers, failedPorts, opts)
+	d.maybeSnapshot()
+	return r
+}
+
+// FailServers marks servers failed (logged write-ahead). If the log
+// append fails the mutation is skipped; CommitHookErr reports it.
+func (d *Manager) FailServers(servers ...int) {
+	d.Manager.FailServers(servers...)
+	d.maybeSnapshot()
+}
+
+// RestoreServers returns servers to the placeable pool (logged
+// write-ahead).
+func (d *Manager) RestoreServers(servers ...int) {
+	d.Manager.RestoreServers(servers...)
+	d.maybeSnapshot()
+}
+
+func (d *Manager) maybeSnapshot() {
+	if d.st.opts.SnapshotEvery > 0 && d.st.sinceSnap >= d.st.opts.SnapshotEvery {
+		// A failed snapshot is not fatal: the WAL still has every
+		// record, the next mutation retries the cadence.
+		_ = d.st.snapshot(d.Manager)
+	}
+}
+
+// Flush forces the pending fsync batch to stable storage.
+func (d *Manager) Flush() error { return d.st.w.sync() }
+
+// Snapshot persists the current state and rotates the WAL now.
+func (d *Manager) Snapshot() error {
+	return d.st.snapshot(d.Manager)
+}
+
+// Close flushes and closes the WAL. Further mutations fail.
+func (d *Manager) Close() error {
+	if d.st.closed {
+		return nil
+	}
+	d.st.closed = true
+	return d.st.w.close()
+}
+
+// Seq returns the last logged mutation sequence number.
+func (d *Manager) Seq() uint64 { return d.st.seq }
+
+// WALSize returns the current segment's valid byte length.
+func (d *Manager) WALSize() int64 { return d.st.w.size }
+
+// WALPath returns the current segment's path.
+func (d *Manager) WALPath() string { return d.st.w.path }
+
+// Dir returns the store directory.
+func (d *Manager) Dir() string { return d.st.dir }
+
+// SafeMode reports whether recovery gated admissions.
+func (d *Manager) SafeMode() bool { return d.st.safeMode }
+
+// ExitSafeMode re-enables admissions after an operator has reconciled
+// the recovered state against external truth.
+func (d *Manager) ExitSafeMode() { d.st.safeMode = false }
+
+// RecoveryInfo returns what Open did to produce this manager.
+func (d *Manager) RecoveryInfo() *RecoveryInfo { return d.info }
+
+// Status is a point-in-time view of the store for dashboards and the
+// /api/series payload.
+type Status struct {
+	Dir          string `json:"dir"`
+	Segment      string `json:"segment"`
+	Seq          uint64 `json:"seq"`
+	WALSizeBytes int64  `json:"wal_size_bytes"`
+	SafeMode     bool   `json:"safe_mode"`
+	// Recovery is what Open did to produce this manager (static for
+	// the lifetime of the process).
+	Recovery *RecoveryInfo `json:"recovery,omitempty"`
+}
+
+// Status snapshots the store state. Like the pull-time gauges it reads
+// the live counters without a lock: values may be one mutation stale,
+// never torn in a way that matters for display.
+func (d *Manager) Status() Status {
+	return Status{
+		Dir:          d.st.dir,
+		Segment:      filepath.Base(d.st.w.path),
+		Seq:          d.st.seq,
+		WALSizeBytes: d.st.w.size,
+		SafeMode:     d.st.safeMode,
+		Recovery:     d.info,
+	}
+}
+
+// SetAppendObserver installs a test seam called after every record
+// lands in the log file and before its mutation is applied in memory —
+// the exact instant a crash-point test wants to capture or abort at.
+// The observer must not mutate the manager.
+func (d *Manager) SetAppendObserver(fn func(rec Record)) { d.st.afterAppend = fn }
+
+// InjectAppendFailures makes the next n WAL record writes fail before
+// touching the file (testing the retry and abort paths).
+func (d *Manager) InjectAppendFailures(n int) { d.st.w.failAppends = n }
+
+// InjectSyncFailures makes the next n fsyncs fail (testing retry).
+func (d *Manager) InjectSyncFailures(n int) { d.st.w.failSyncs = n }

@@ -1,0 +1,396 @@
+package durable
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/placement"
+	"repro/internal/topology"
+)
+
+// ErrSafeMode reports that the manager recovered into safe mode (its
+// log began after the state it could rebuild, so the admitted set may
+// be incomplete) and is rejecting new admissions rather than risking
+// overbooked guarantees. Removes and failure handling still work;
+// ExitSafeMode clears it once an operator has reconciled the state.
+var ErrSafeMode = errors.New("durable: manager in safe mode, admissions disabled")
+
+// Options tunes the durable store; the zero value syncs every append,
+// snapshots every 1024 mutations and retries I/O with defaults.
+type Options struct {
+	// Placement configures the underlying manager.
+	Placement placement.Options
+	// SyncEvery batches fsyncs: the WAL is synced after this many
+	// appended records (and always on Flush/Snapshot/Close). 1 — the
+	// default — syncs every record; larger values trade the tail of
+	// acknowledged-but-unsynced mutations for throughput.
+	SyncEvery int
+	// SnapshotEvery writes a snapshot and rotates the WAL after this
+	// many mutations (default 1024; negative disables snapshots).
+	SnapshotEvery int
+	// Retry tunes WAL I/O retries.
+	Retry RetryPolicy
+	// Meta stamps snapshots and the store config with run provenance.
+	Meta *obs.RunMeta
+	// Metrics instruments the store (NewMetrics); nil disables.
+	Metrics *Metrics
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 1
+	}
+	if o.SnapshotEvery == 0 {
+		o.SnapshotEvery = 1024
+	}
+	return o
+}
+
+// storeConfig is the dir's config.json: enough to rebuild the
+// topology and manager options offline (silo-wal -verify) and to
+// refuse opening a store against a mismatched fabric.
+type storeConfig struct {
+	Meta      *obs.RunMeta      `json:"meta,omitempty"`
+	Topology  topology.Config   `json:"topology"`
+	Placement placement.Options `json:"placement"`
+}
+
+// RecoveryInfo reports what Open did to arrive at a live manager.
+type RecoveryInfo struct {
+	// SnapshotSeq is the mutation seq the loaded snapshot covered (0
+	// when recovery started from an empty state).
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	// SnapshotTenants is the admitted-set size restored from it.
+	SnapshotTenants int `json:"snapshot_tenants"`
+	// ReplayedRecords counts WAL records applied after the snapshot.
+	ReplayedRecords int `json:"replayed_records"`
+	// TruncatedBytes is the torn/corrupt tail length cut from the last
+	// segment (0 when the log ended cleanly).
+	TruncatedBytes int64 `json:"truncated_bytes,omitempty"`
+	// TornTail/CorruptTail classify the damage: a clean prefix of a
+	// record (crash mid-write) vs. a framed record failing CRC/parse.
+	TornTail    bool `json:"torn_tail,omitempty"`
+	CorruptTail bool `json:"corrupt_tail,omitempty"`
+	// SeqGap reports that the log's records did not connect to the
+	// recovered base state (stale or missing snapshot): recovery
+	// applied what it could and entered safe mode.
+	SeqGap bool `json:"seq_gap,omitempty"`
+	// SafeMode reports the manager came up rejecting admissions.
+	SafeMode bool `json:"safe_mode,omitempty"`
+	// ReplayNs is the wall-clock cost of the whole recovery.
+	ReplayNs int64 `json:"replay_ns"`
+}
+
+// Render summarizes the recovery one line at a time.
+func (ri *RecoveryInfo) Render() string {
+	mode := "normal"
+	if ri.SafeMode {
+		mode = "SAFE MODE"
+	}
+	tail := "clean"
+	switch {
+	case ri.CorruptTail:
+		tail = fmt.Sprintf("corrupt tail (-%d B)", ri.TruncatedBytes)
+	case ri.TornTail:
+		tail = fmt.Sprintf("torn tail (-%d B)", ri.TruncatedBytes)
+	}
+	gap := ""
+	if ri.SeqGap {
+		gap = ", seq gap"
+	}
+	return fmt.Sprintf(
+		"recovery: snapshot seq %d (%d tenants) + %d replayed records, %s%s, %.3f ms, %s",
+		ri.SnapshotSeq, ri.SnapshotTenants, ri.ReplayedRecords, tail, gap,
+		float64(ri.ReplayNs)/1e6, mode)
+}
+
+// store owns the dir: the live WAL segment, the mutation sequence and
+// the snapshot cadence.
+type store struct {
+	dir  string
+	opts Options
+	tree *topology.Tree
+	w    *wal
+	// seq is the last sequence number appended (and, because appends
+	// precede applies, an upper bound on applied state).
+	seq uint64
+	// sinceSnap counts mutations since the last snapshot.
+	sinceSnap int
+	safeMode  bool
+	closed    bool
+	// afterAppend is a test seam invoked after each record lands in
+	// the file but before the mutation is applied — exactly the window
+	// a crash-point test needs to capture.
+	afterAppend func(rec Record)
+}
+
+// Open recovers (or initializes) the durable store at dir and returns
+// a manager backed by it. The tree must match the one the store was
+// created with; opts.Placement likewise configures the rebuilt
+// manager and must match for replayed decisions to be meaningful.
+func Open(dir string, tree *topology.Tree, opts Options) (*Manager, *RecoveryInfo, error) {
+	start := time.Now()
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	if err := ensureConfig(dir, tree, opts); err != nil {
+		return nil, nil, err
+	}
+
+	info := &RecoveryInfo{}
+	m := placement.NewManager(tree, opts.Placement)
+
+	// Base state: the latest valid snapshot, if any.
+	snap, _, snapCorrupt, err := latestSnapshot(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if snap != nil {
+		if err := restoreState(m, snap); err != nil {
+			return nil, nil, err
+		}
+		info.SnapshotSeq = snap.Seq
+		info.SnapshotTenants = len(snap.Tenants)
+	}
+	lastSeq := info.SnapshotSeq
+
+	// Replay the WAL tail. Segments are ordered by their first seq;
+	// records at or below the snapshot seq are already part of the
+	// base state and skip. A record stream that does not connect to
+	// lastSeq+1 means durable history is missing (stale snapshot,
+	// deleted segment): recovery keeps going — applying what it can —
+	// but the manager comes up in safe mode.
+	walNames, err := listSeqFiles(dir, "wal-", ".log")
+	if err != nil {
+		return nil, nil, err
+	}
+	gap := snapCorrupt
+	for i, name := range walNames {
+		path := filepath.Join(dir, name)
+		res, err := scanWAL(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		damaged := res.torn || res.corrupt
+		if damaged {
+			st, serr := os.Stat(path)
+			if serr == nil {
+				info.TruncatedBytes += st.Size() - res.validLen
+			}
+			info.TornTail = info.TornTail || res.torn
+			info.CorruptTail = info.CorruptTail || res.corrupt
+			if err := os.Truncate(path, res.validLen); err != nil {
+				return nil, nil, err
+			}
+			if i != len(walNames)-1 {
+				// Damage mid-history with later segments present:
+				// acknowledged mutations are unrecoverable past this
+				// point. Keep the later segments untouched on disk for
+				// forensics, replay them best-effort, and force safe
+				// mode below via the seq gap they necessarily open.
+				gap = true
+			}
+		}
+		for _, rec := range res.records {
+			if rec.Seq <= lastSeq {
+				continue // covered by the snapshot (or a duplicate)
+			}
+			if rec.Seq != lastSeq+1 {
+				gap = true
+			}
+			if err := applyRecord(m, &rec.Mut, gap); err != nil {
+				return nil, nil, err
+			}
+			lastSeq = rec.Seq
+			info.ReplayedRecords++
+		}
+	}
+	info.SeqGap = gap
+	info.SafeMode = gap
+
+	if err := m.VerifyInvariants(); err != nil {
+		return nil, nil, fmt.Errorf("durable: recovered state fails invariants: %w", err)
+	}
+
+	st := &store{dir: dir, opts: opts, tree: tree, seq: lastSeq, safeMode: gap}
+
+	// Continue the last segment, or start a fresh one.
+	var segPath string
+	var segSize int64
+	if len(walNames) > 0 {
+		segPath = filepath.Join(dir, walNames[len(walNames)-1])
+		if fi, err := os.Stat(segPath); err == nil {
+			segSize = fi.Size()
+		}
+	} else {
+		segPath = filepath.Join(dir, walName(lastSeq+1))
+	}
+	st.w, err = createWAL(segPath, segSize, opts.SyncEvery, opts.Retry, opts.Metrics)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	m.SetCommitHook(st.commit)
+	info.ReplayNs = time.Since(start).Nanoseconds()
+	opts.Metrics.noteRecovery(info.ReplayedRecords, info.TornTail || info.CorruptTail, time.Since(start))
+	return &Manager{Manager: m, st: st, info: info}, info, nil
+}
+
+// commit is the placement manager's write-ahead hook: log the
+// mutation, then let the manager apply it.
+func (st *store) commit(mut *placement.Mutation) error {
+	if st.closed {
+		return errors.New("durable: store closed")
+	}
+	next := st.seq + 1
+	if err := st.w.append(next, mut); err != nil {
+		return err
+	}
+	st.seq = next
+	st.sinceSnap++
+	if st.afterAppend != nil {
+		st.afterAppend(Record{Seq: next, Mut: *mut})
+	}
+	return nil
+}
+
+// applyRecord replays one logged mutation through the manager's
+// primitives. With lenient set (safe-mode recovery over a gapped log)
+// mutations that no longer make sense — removing an unknown tenant,
+// re-placing a duplicate — are skipped instead of failing recovery.
+func applyRecord(m *placement.Manager, mut *placement.Mutation, lenient bool) error {
+	var err error
+	switch mut.Op {
+	case placement.MutPlace:
+		_, err = m.ApplyPlacement(mut.Spec, mut.Servers)
+	case placement.MutReject:
+		m.NoteRejected()
+	case placement.MutRemove:
+		err = m.Remove(mut.TenantID)
+	case placement.MutFail:
+		m.FailServers(mut.Servers...)
+	case placement.MutRestore:
+		m.RestoreServers(mut.Servers...)
+	default:
+		err = fmt.Errorf("durable: unknown mutation op %d", uint8(mut.Op))
+	}
+	if err != nil && lenient {
+		err = nil
+	}
+	return err
+}
+
+// snapshot persists the manager's current state, rotates the WAL and
+// garbage-collects segments and snapshots the new one supersedes. The
+// old segments are deleted only after the new snapshot has been read
+// back and validated (inside writeSnapshot).
+func (st *store) snapshot(m *placement.Manager) error {
+	if err := st.w.sync(); err != nil {
+		return err
+	}
+	state := captureState(m, st.seq)
+	if _, err := writeSnapshot(st.dir, state, st.opts.Meta); err != nil {
+		return err
+	}
+	// Rotate: further appends go to a fresh segment starting past the
+	// snapshot.
+	if err := st.w.close(); err != nil {
+		return err
+	}
+	w, err := createWAL(filepath.Join(st.dir, walName(st.seq+1)), 0,
+		st.opts.SyncEvery, st.opts.Retry, st.opts.Metrics)
+	if err != nil {
+		return err
+	}
+	st.w = w
+	st.sinceSnap = 0
+	st.opts.Metrics.noteSnapshot()
+
+	// GC: every fully covered segment and every older snapshot.
+	if names, err := listSeqFiles(st.dir, "wal-", ".log"); err == nil {
+		for _, name := range names {
+			if seq, ok := parseSeqName(name, "wal-", ".log"); ok && seq <= st.seq {
+				os.Remove(filepath.Join(st.dir, name))
+			}
+		}
+	}
+	if names, err := listSeqFiles(st.dir, "snapshot-", ".json"); err == nil {
+		for _, name := range names {
+			if seq, ok := parseSeqName(name, "snapshot-", ".json"); ok && seq < state.Seq {
+				os.Remove(filepath.Join(st.dir, name))
+			}
+		}
+	}
+	syncDir(st.dir)
+	return nil
+}
+
+// ensureConfig writes config.json on first open and verifies the
+// topology on later ones — replaying a log against a different fabric
+// would silently rewrite history.
+func ensureConfig(dir string, tree *topology.Tree, opts Options) error {
+	path := filepath.Join(dir, "config.json")
+	b, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		cfg := storeConfig{Meta: opts.Meta, Topology: tree.Config(), Placement: opts.Placement}
+		out, merr := json.MarshalIndent(&cfg, "", " ")
+		if merr != nil {
+			return merr
+		}
+		if werr := os.WriteFile(path, out, 0o644); werr != nil {
+			return werr
+		}
+		syncDir(dir)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var cfg storeConfig
+	if err := json.Unmarshal(b, &cfg); err != nil {
+		return fmt.Errorf("durable: config.json: %w", err)
+	}
+	if cfg.Topology != tree.Config() {
+		return fmt.Errorf("durable: store at %s was created for a different topology", dir)
+	}
+	return nil
+}
+
+// LoadConfig reads a store dir's config.json (topology + placement
+// options), letting offline tools rebuild the tree the log was written
+// against.
+func LoadConfig(dir string) (topology.Config, placement.Options, *obs.RunMeta, error) {
+	b, err := os.ReadFile(filepath.Join(dir, "config.json"))
+	if err != nil {
+		return topology.Config{}, placement.Options{}, nil, err
+	}
+	var cfg storeConfig
+	if err := json.Unmarshal(b, &cfg); err != nil {
+		return topology.Config{}, placement.Options{}, nil, fmt.Errorf("durable: config.json: %w", err)
+	}
+	return cfg.Topology, cfg.Placement, cfg.Meta, nil
+}
+
+// ReadLog decodes the whole valid records of one WAL segment. It
+// returns the records, the byte offset just past the last valid one,
+// and whether a torn/corrupt tail was dropped at that offset.
+func ReadLog(path string) ([]Record, int64, bool, error) {
+	res, err := scanWAL(path)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return res.records, res.validLen, res.torn || res.corrupt, nil
+}
+
+// DecodeRecords decodes records from an in-memory segment image (the
+// fuzz tests and the soak harness's torn-write oracle use it).
+func DecodeRecords(b []byte) ([]Record, int64, bool) {
+	res := scanRecords(b)
+	return res.records, res.validLen, res.torn || res.corrupt
+}

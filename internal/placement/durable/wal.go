@@ -1,0 +1,232 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/placement"
+	"repro/internal/stats"
+)
+
+// RetryPolicy tunes how WAL I/O (record writes, fsync) reacts to
+// transient failures: each operation is attempted up to Attempts times
+// with jittered exponential backoff between tries. The zero value
+// means 4 attempts starting at 1 ms, capped at 100 ms.
+type RetryPolicy struct {
+	// Attempts is the total tries per operation (first try included).
+	Attempts int
+	// BaseDelay is the backoff before the first retry; each further
+	// retry doubles it.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth.
+	MaxDelay time.Duration
+	// JitterSeed seeds the deterministic jitter stream (each delay is
+	// scaled by a uniform factor in [0.5, 1.5) so colliding retriers
+	// spread out). 0 uses a fixed default seed.
+	JitterSeed uint64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 100 * time.Millisecond
+	}
+	if p.JitterSeed == 0 {
+		p.JitterSeed = 0x5110_a110c
+	}
+	return p
+}
+
+// wal is one append-only log segment. Appends encode into a reused
+// buffer and write at the known-good end offset, so a failed write
+// retried after backoff overwrites its own partial bytes; fsyncs are
+// batched every syncEvery appends. Not safe for concurrent use — the
+// durable Manager serializes mutations, matching the underlying
+// placement manager's single-writer discipline.
+type wal struct {
+	f    *os.File
+	path string
+	// buf is the reused encode buffer; appends are zero-allocation
+	// once it has grown to the workload's record size.
+	buf []byte
+	// size is the known-good end of the log: every byte below it is a
+	// whole, CRC-valid record.
+	size int64
+	// pending counts appends since the last fsync.
+	pending   int
+	syncEvery int
+	retry     RetryPolicy
+	rng       *stats.Rand
+	sleep     func(time.Duration)
+	mx        *Metrics
+
+	// failAppends/failSyncs are test seams: when set, the next N
+	// appends/fsyncs fail with a synthetic error before touching the
+	// file, exercising the retry path deterministically.
+	failAppends int
+	failSyncs   int
+}
+
+var errInjected = errors.New("durable: injected I/O failure")
+
+// createWAL opens (creating if absent) the segment at path, whose
+// contents — if any — must already be validated/truncated by the
+// caller; size is the validated length.
+func createWAL(path string, size int64, syncEvery int, retry RetryPolicy, mx *Metrics) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	retry = retry.withDefaults()
+	return &wal{
+		f:         f,
+		path:      path,
+		buf:       make([]byte, 0, 4096),
+		size:      size,
+		syncEvery: syncEvery,
+		retry:     retry,
+		rng:       stats.NewRand(retry.JitterSeed),
+		sleep:     time.Sleep,
+		mx:        mx,
+	}, nil
+}
+
+// I/O kinds for the retry loop. Plain codes instead of closures keep
+// the append hot path allocation-free.
+const (
+	ioWrite = iota
+	ioSync
+)
+
+// append logs one mutation under seq. The record is durable once the
+// enclosing fsync batch lands (sync, flush, or close); write-ahead
+// ordering only requires it to be in the file before the in-memory
+// apply, which this guarantees even under retries.
+func (w *wal) append(seq uint64, mut *placement.Mutation) error {
+	w.buf = appendRecord(w.buf[:0], seq, mut)
+	if err := w.retryIO(ioWrite); err != nil {
+		return fmt.Errorf("durable: append seq %d: %w", seq, err)
+	}
+	w.size += int64(len(w.buf))
+	w.mx.noteAppend(len(w.buf))
+	w.pending++
+	if w.syncEvery > 0 && w.pending >= w.syncEvery {
+		return w.sync()
+	}
+	return nil
+}
+
+// sync flushes the pending batch to stable storage.
+func (w *wal) sync() error {
+	if w.pending == 0 {
+		return nil
+	}
+	if err := w.retryIO(ioSync); err != nil {
+		return fmt.Errorf("durable: fsync: %w", err)
+	}
+	w.pending = 0
+	w.mx.noteFsync()
+	return nil
+}
+
+// doIO performs one attempt: writing the encoded record at the
+// known-good end offset (so a retried partial write overwrites its own
+// bytes), or syncing the file.
+func (w *wal) doIO(kind int) error {
+	switch kind {
+	case ioWrite:
+		if w.failAppends > 0 {
+			w.failAppends--
+			return errInjected
+		}
+		_, err := w.f.WriteAt(w.buf, w.size)
+		return err
+	default:
+		if w.failSyncs > 0 {
+			w.failSyncs--
+			return errInjected
+		}
+		return w.f.Sync()
+	}
+}
+
+func (w *wal) close() error {
+	err := w.sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// retryIO runs one I/O kind, retrying transient failures with jittered
+// exponential backoff per the policy.
+func (w *wal) retryIO(kind int) error {
+	var err error
+	delay := w.retry.BaseDelay
+	for attempt := 0; attempt < w.retry.Attempts; attempt++ {
+		if attempt > 0 {
+			w.mx.noteRetry()
+			w.sleep(time.Duration((0.5 + w.rng.Float64()) * float64(delay)))
+			delay *= 2
+			if delay > w.retry.MaxDelay {
+				delay = w.retry.MaxDelay
+			}
+		}
+		if err = w.doIO(kind); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// scanResult is one scanned WAL segment: its whole valid records, the
+// byte length they span, and how the scan ended.
+type scanResult struct {
+	records []Record
+	// validLen is the offset just past the last whole valid record;
+	// bytes beyond it (if any) are a torn or corrupt tail.
+	validLen int64
+	// torn is true when trailing bytes were a clean prefix of a record
+	// (a crash mid-write); corrupt when they framed but failed CRC or
+	// parse. Both truncate; they are distinguished for reporting.
+	torn, corrupt bool
+}
+
+// scanWAL decodes every whole valid record from the segment at path,
+// stopping at — never misparsing — a torn or corrupt tail.
+func scanWAL(path string) (scanResult, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return scanResult{}, err
+	}
+	return scanRecords(b), nil
+}
+
+// scanRecords decodes records from the front of b until it is
+// exhausted or damaged.
+func scanRecords(b []byte) scanResult {
+	var res scanResult
+	off := int64(0)
+	for int64(len(b)) > off {
+		rec, n, err := decodeRecord(b[off:])
+		if err != nil {
+			if errors.Is(err, ErrTornTail) {
+				res.torn = true
+			} else {
+				res.corrupt = true
+			}
+			break
+		}
+		res.records = append(res.records, rec)
+		off += int64(n)
+	}
+	res.validLen = off
+	return res
+}

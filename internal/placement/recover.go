@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -87,6 +88,12 @@ type RecoveryReport struct {
 	Relocated     int
 	Degraded      int
 	Evicted       int
+	// LogErr is non-nil when the commit log failed mid-recovery and the
+	// walk was aborted. Every mutation applied in memory was logged
+	// first (write-ahead order), so the manager remains exactly the
+	// state a crash-recovery from the log would reproduce; tenants not
+	// yet processed keep their pre-failure placements.
+	LogErr error
 }
 
 // Render writes the report as a fixed-format table (deterministic:
@@ -137,6 +144,14 @@ type RecoverOptions struct {
 // there. Tenants already on them are untouched — call Recover to
 // evacuate.
 func (m *Manager) FailServers(servers ...int) {
+	if len(servers) > 0 {
+		if err := m.logMutation(&Mutation{Op: MutFail, Servers: servers}); err != nil {
+			if m.hookErr == nil {
+				m.hookErr = err
+			}
+			return
+		}
+	}
 	for _, s := range servers {
 		if s >= 0 && s < m.tree.Servers() {
 			m.ix.disable(s)
@@ -146,6 +161,14 @@ func (m *Manager) FailServers(servers ...int) {
 
 // RestoreServers returns failed servers to the placeable pool.
 func (m *Manager) RestoreServers(servers ...int) {
+	if len(servers) > 0 {
+		if err := m.logMutation(&Mutation{Op: MutRestore, Servers: servers}); err != nil {
+			if m.hookErr == nil {
+				m.hookErr = err
+			}
+			return
+		}
+	}
 	for _, s := range servers {
 		if s >= 0 && s < m.tree.Servers() {
 			m.ix.enable(s)
@@ -229,16 +252,6 @@ func (m *Manager) Recover(failedServers, failedPorts []int, opts RecoverOptions)
 	}
 	sort.Ints(ids)
 
-	// Detach all affected tenants before re-admitting any: evacuation
-	// frees the shared headroom first, so re-placements compete only
-	// with surviving tenants, not with each other's stale state.
-	old := make([]*admittedTenant, len(ids))
-	for i, id := range ids {
-		old[i] = m.admitted[id]
-		m.detach(old[i])
-	}
-	m.FailServers(failedServers...)
-
 	ladder := opts.Ladder
 	if ladder == nil {
 		ladder = DefaultDegradeLadder()
@@ -250,6 +263,26 @@ func (m *Manager) Recover(failedServers, failedPorts []int, opts RecoverOptions)
 	}
 	sort.Ints(report.FailedServers)
 	sort.Ints(report.FailedPorts)
+
+	// Detach all affected tenants before re-admitting any: evacuation
+	// frees the shared headroom first, so re-placements compete only
+	// with surviving tenants, not with each other's stale state. Each
+	// detach is logged as a primitive remove so replay reproduces the
+	// recovery step by step.
+	old := make([]*admittedTenant, len(ids))
+	for i, id := range ids {
+		old[i] = m.admitted[id]
+		if err := m.logMutation(&Mutation{Op: MutRemove, TenantID: id}); err != nil {
+			report.LogErr = err
+			return report
+		}
+		m.detach(old[i])
+	}
+	m.FailServers(failedServers...)
+	if m.hookErr != nil {
+		report.LogErr = m.hookErr
+		return report
+	}
 
 	for i, id := range ids {
 		spec := old[i].placement.Spec
@@ -264,6 +297,13 @@ func (m *Manager) Recover(failedServers, failedPorts []int, opts RecoverOptions)
 			tr.NewServers = pl.Servers
 			tr.NewGuarantee = spec.Guarantee
 			report.Relocated++
+		} else if errors.Is(err, ErrLogFailed) {
+			// The commit log is down, not the placement infeasible:
+			// abort rather than walk the ladder (a rung record after a
+			// failed full-guarantee append could replay as a silent
+			// double-degrade).
+			report.LogErr = err
+			return report
 		} else {
 			tr.Verdict = VerdictEvicted
 			tried := spec.Guarantee
@@ -279,6 +319,9 @@ func (m *Manager) Recover(failedServers, failedPorts []int, opts RecoverOptions)
 					tr.NewGuarantee = dspec.Guarantee
 					tr.Degradation = step.Note
 					break
+				} else if errors.Is(err, ErrLogFailed) {
+					report.LogErr = err
+					return report
 				}
 			}
 			if tr.Verdict == VerdictDegraded {

@@ -117,6 +117,13 @@ type Manager struct {
 	// journal is the optional admission decision log (EnableJournal);
 	// nil costs one branch on each accept/reject tail.
 	journal *journal
+
+	// hook is the optional write-ahead commit hook (SetCommitHook):
+	// called with every mutation before it is applied; an error aborts
+	// the mutation. hookErr holds the first failure from a void mutator
+	// (FailServers/RestoreServers) that cannot return it.
+	hook    func(*Mutation) error
+	hookErr error
 }
 
 type admittedTenant struct {
@@ -295,11 +302,17 @@ func (m *Manager) place(spec tenant.Spec) (*tenant.Placement, error) {
 
 	servers := m.findPlacement(spec)
 	if servers == nil {
+		if err := m.logMutation(&Mutation{Op: MutReject, TenantID: spec.ID}); err != nil {
+			return nil, err
+		}
 		m.rejectedCount++
 		if m.journal != nil {
 			m.journal.record(m.explainReject(spec))
 		}
 		return nil, fmt.Errorf("%w: tenant %q (%d VMs)", ErrRejected, spec.Name, spec.VMs)
+	}
+	if err := m.logMutation(&Mutation{Op: MutPlace, Spec: spec, Servers: servers}); err != nil {
+		return nil, err
 	}
 	pl := &tenant.Placement{Spec: spec, Servers: servers}
 	contribs := m.contributions(spec, servers)
@@ -325,6 +338,9 @@ func (m *Manager) Remove(id int) error {
 	at, ok := m.admitted[id]
 	if !ok {
 		return fmt.Errorf("%w: id %d", ErrUnknownTenant, id)
+	}
+	if err := m.logMutation(&Mutation{Op: MutRemove, TenantID: id}); err != nil {
+		return err
 	}
 	m.mx.noteRemove()
 	m.detach(at)
@@ -354,6 +370,9 @@ func (m *Manager) placeBestEffort(spec tenant.Spec) (*tenant.Placement, error) {
 	}
 	servers := packGreedy(m.tree, eff, m.ix, spec.VMs, spec.FaultDomains)
 	if servers == nil {
+		if err := m.logMutation(&Mutation{Op: MutReject, TenantID: spec.ID}); err != nil {
+			return nil, err
+		}
 		m.rejectedCount++
 		if m.journal != nil {
 			m.journal.record(&Decision{
@@ -362,6 +381,9 @@ func (m *Manager) placeBestEffort(spec tenant.Spec) (*tenant.Placement, error) {
 			})
 		}
 		return nil, fmt.Errorf("%w: best-effort tenant %q (%d VMs)", ErrRejected, spec.Name, spec.VMs)
+	}
+	if err := m.logMutation(&Mutation{Op: MutPlace, Spec: spec, Servers: servers}); err != nil {
+		return nil, err
 	}
 	pl := &tenant.Placement{Spec: spec, Servers: servers}
 	if m.journal != nil {
